@@ -1,0 +1,94 @@
+"""Ablation: the two optional tiers — hybrid DRAM tree-top and the PLB.
+
+Quantifies the paper's Section-4.5 hybrid direction (tree-top DRAM
+replication, write-through) and Freecursive's PLB for the recursive design:
+how much execution time and NVM traffic each knob buys, and what it costs
+in crash-consistency terms (the PLB is volatile, so only Rcr-Baseline may
+use it).
+"""
+
+import dataclasses
+
+from repro.bench.harness import BENCH_CONFIG, format_table
+from repro.hybrid.controller import HybridPSORAMController
+from repro.mem.request import RequestKind
+from repro.oram.recursive import RecursivePathORAM
+from repro.util.rng import DeterministicRNG
+
+ACCESSES = 250
+
+
+def _drive(controller, span=600, seed=5):
+    rng = DeterministicRNG(seed)
+    for i in range(ACCESSES):
+        controller.write(rng.randrange(span), bytes([i % 256]))
+    return controller
+
+
+def test_hybrid_dram_level_sweep(benchmark):
+    def run():
+        out = {}
+        for levels in (0, 2, 4, 6, 8):
+            controller = _drive(
+                HybridPSORAMController(BENCH_CONFIG, dram_levels=levels)
+            )
+            out[levels] = (
+                controller.now,
+                controller.memory.traffic.reads_of(RequestKind.DATA_PATH),
+                controller.dram_read_fraction(),
+            )
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_now, base_reads, _ = data[0]
+    rows = [
+        (levels, now / base_now, reads / base_reads, fraction)
+        for levels, (now, reads, fraction) in data.items()
+    ]
+    print()
+    print(
+        format_table(
+            "Hybrid tree-top: DRAM levels vs time and NVM read traffic",
+            ["DRAM levels", "Cycles", "NVM data reads", "DRAM read share"],
+            rows,
+        )
+    )
+    # Monotone benefit, write-through keeps everything else equal.
+    assert data[8][0] < data[4][0] < data[0][0]
+    assert data[8][1] < data[0][1]
+
+
+def test_plb_capacity_sweep(benchmark):
+    def run():
+        out = {}
+        for blocks in (0, 4, 16, 64):
+            config = BENCH_CONFIG.replace(
+                oram=dataclasses.replace(
+                    BENCH_CONFIG.oram, recursion_levels=1, plb_blocks=blocks
+                )
+            )
+            controller = _drive(RecursivePathORAM(config))
+            out[blocks] = (
+                controller.now,
+                controller.traffic.reads_of(RequestKind.POSMAP),
+                controller.plb.hit_rate if controller.plb else 0.0,
+            )
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_now, base_reads, _ = data[0]
+    rows = [
+        (blocks, now / base_now, reads / max(base_reads, 1), hit_rate)
+        for blocks, (now, reads, hit_rate) in data.items()
+    ]
+    print()
+    print(
+        format_table(
+            "PLB: capacity vs time and posmap-tree read traffic (Rcr-Baseline)",
+            ["PLB blocks", "Cycles", "PosMap reads", "Hit rate"],
+            rows,
+        )
+    )
+    assert data[64][0] < data[0][0]
+    assert data[64][1] < base_reads
+    assert data[64][2] > data[4][2]

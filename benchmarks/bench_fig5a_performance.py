@@ -1,0 +1,47 @@
+"""Figure 5(a): normalized execution time, non-recursive systems.
+
+Paper (Z=4, 1 channel, geometric means over 14 SPEC workloads, normalized
+to Baseline): FullNVM +90.54%, FullNVM(STT) +37.69%, Naive-PS-ORAM +73.92%,
+PS-ORAM +4.29%.
+"""
+
+from repro.bench.harness import BENCH_WORKLOADS, format_table, sweep
+from repro.core.variants import NON_RECURSIVE_VARIANTS
+from repro.sim.results import geometric_mean, normalize
+
+
+def _aggregate(results):
+    table = normalize(results, "baseline", "cycles")
+    return {variant: geometric_mean(row.values()) for variant, row in table.items()}
+
+
+def test_fig5a_normalized_performance(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep(NON_RECURSIVE_VARIANTS), rounds=1, iterations=1
+    )
+    norm = _aggregate(results)
+    per_workload = normalize(results, "baseline", "cycles")
+    rows = [
+        (variant, *(per_workload[variant].get(w, float("nan")) for w in BENCH_WORKLOADS),
+         norm[variant])
+        for variant in NON_RECURSIVE_VARIANTS
+    ]
+    print()
+    print(
+        format_table(
+            "Figure 5(a): execution time normalized to Baseline",
+            ["Variant", *BENCH_WORKLOADS, "geomean"],
+            rows,
+        )
+    )
+    paper = {"fullnvm": 1.9054, "fullnvm-stt": 1.3769, "naive-ps": 1.7392, "ps": 1.0429}
+    print(format_table(
+        "Paper vs measured (geomean)",
+        ["Variant", "Paper", "Measured"],
+        [(v, paper[v], norm[v]) for v in paper],
+    ))
+    # Shape assertions: ordering and rough factors.
+    assert norm["ps"] < 1.15
+    assert norm["ps"] < norm["fullnvm-stt"] < norm["fullnvm"]
+    assert norm["naive-ps"] > 1.4
+    assert norm["fullnvm"] > 1.3

@@ -1,0 +1,36 @@
+"""Figure 5(b): normalized execution time, recursive systems.
+
+Paper: Rcr-Baseline +68.93% and Rcr-PS-ORAM +75.10% over the non-recursive
+Baseline; the PS overhead *within* the recursive family is 3.65%.
+"""
+
+from repro.bench.harness import BENCH_WORKLOADS, format_table, sweep
+from repro.sim.results import geometric_mean, normalize
+
+VARIANTS = ("baseline", "rcr-baseline", "rcr-ps")
+
+
+def test_fig5b_recursive_performance(benchmark):
+    results = benchmark.pedantic(lambda: sweep(VARIANTS), rounds=1, iterations=1)
+    table = normalize(results, "baseline", "cycles")
+    norm = {variant: geometric_mean(row.values()) for variant, row in table.items()}
+    rows = [
+        (variant, *(table[variant].get(w, float("nan")) for w in BENCH_WORKLOADS),
+         norm[variant])
+        for variant in VARIANTS
+    ]
+    print()
+    print(
+        format_table(
+            "Figure 5(b): execution time normalized to (non-recursive) Baseline",
+            ["Variant", *BENCH_WORKLOADS, "geomean"],
+            rows,
+        )
+    )
+    ps_within = norm["rcr-ps"] / norm["rcr-baseline"]
+    print(f"Rcr-PS overhead within recursive family: {ps_within - 1:.2%} "
+          f"(paper: 3.65%)")
+    # Shapes: recursion costs a large constant; PS adds single digits on top.
+    assert norm["rcr-baseline"] > 1.4
+    assert norm["rcr-ps"] > norm["rcr-baseline"]
+    assert ps_within - 1.0 < 0.12

@@ -1,0 +1,49 @@
+"""Section 5.1 baseline characterization: ORAM vs non-ORAM NVM.
+
+Paper: single-channel ORAM costs 2x-24x (average ~11x) over a plain NVM
+system; with 4 channels 1.8x-21x (average ~6.5x).
+"""
+
+import dataclasses
+
+from repro.bench.harness import BENCH_CONFIG, BENCH_WORKLOADS, format_table, sweep
+from repro.sim.results import geometric_mean, normalize
+
+
+def _overheads(channels):
+    config = dataclasses.replace(BENCH_CONFIG, channels=channels)
+    results = sweep(("plain", "baseline"), BENCH_WORKLOADS, config=config)
+    table = normalize(results, "plain", "cycles")
+    return table["baseline"]
+
+
+def test_oram_overhead_single_channel(benchmark):
+    overheads = benchmark.pedantic(lambda: _overheads(1), rounds=1, iterations=1)
+    rows = sorted(overheads.items())
+    print()
+    print(
+        format_table(
+            "ORAM overhead vs plain NVM (1 channel; paper: 2x-24x, avg ~11x)",
+            ["Workload", "Overhead"],
+            rows,
+        )
+    )
+    mean = geometric_mean(overheads.values())
+    print(f"geomean: {mean:.2f}x")
+    assert 2.0 < mean < 30.0
+    assert all(2.0 < v < 40.0 for v in overheads.values())
+
+
+def test_oram_overhead_four_channels(benchmark):
+    one = _overheads(1)
+    four = benchmark.pedantic(lambda: _overheads(4), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            "ORAM overhead vs plain NVM (4 channels; paper avg ~6.5x)",
+            ["Workload", "Overhead"],
+            sorted(four.items()),
+        )
+    )
+    # More bandwidth narrows the ORAM gap (paper: 11x -> 6.5x).
+    assert geometric_mean(four.values()) < geometric_mean(one.values())

@@ -1,0 +1,40 @@
+"""Table 1: energy cost constants for crash-time data movement.
+
+Regenerates the per-byte cost table the draining model builds on and times
+the model evaluation itself.
+"""
+
+from repro.bench.harness import format_table
+from repro.energy.model import (
+    DrainCostModel,
+    DrainInventory,
+    L1D_TO_NVM_NJ_PER_BYTE,
+    L2_TO_NVM_NJ_PER_BYTE,
+    SRAM_ACCESS_PJ_PER_BYTE,
+)
+
+
+def test_table1_constants(benchmark):
+    def build():
+        return [
+            ("Accessing Data from SRAM", f"{SRAM_ACCESS_PJ_PER_BYTE:.0f}pJ/Byte"),
+            ("Moving data from L1D to NVM", f"{L1D_TO_NVM_NJ_PER_BYTE:.3f}nJ/Byte"),
+            (
+                "Moving data from L2, stash, PosMap and WPQs to NVM",
+                f"{L2_TO_NVM_NJ_PER_BYTE:.3f}nJ/Byte",
+            ),
+        ]
+
+    rows = benchmark(build)
+    print()
+    print(format_table("Table 1: energy cost estimation", ["Operation", "Cost"], rows))
+    assert rows[1][1] == "11.839nJ/Byte"
+    assert rows[2][1] == "11.228nJ/Byte"
+
+
+def test_model_evaluation_speed(benchmark):
+    """The cost model itself is cheap enough to call anywhere."""
+    model = DrainCostModel()
+    inventory = DrainInventory("x", l1_bytes=65536, l2_bytes=1 << 20, wpq_bytes=6816)
+    estimate = benchmark(model.estimate, inventory)
+    assert estimate.energy_pj > 0

@@ -1,0 +1,50 @@
+"""Table 2: estimated draining energy and time, eADR vs PS-ORAM.
+
+Paper values: eADR-cache 12.653mJ / 26.638us; eADR-ORAM 2.286J / 4.817ms;
+PS-ORAM 76.530uJ / 161.134ns (96-entry WPQs) and ~2.83uJ / 6.713ns
+(4-entry; the paper's energy cell is inconsistent with its own time cell —
+we report the 284-byte-consistent 3.19uJ, see EXPERIMENTS.md).
+"""
+
+from repro.bench.harness import format_table
+from repro.energy.model import (
+    EADR_CACHE,
+    EADR_ORAM,
+    PS_ORAM,
+    PS_ORAM_SMALL,
+    table2_rows,
+)
+from repro.util.units import format_energy, format_time
+
+
+def test_table2_draining_costs(benchmark):
+    rows = benchmark(table2_rows)
+    printable = [
+        (
+            name,
+            estimate.total_bytes,
+            format_energy(estimate.energy_pj),
+            format_time(estimate.time_ns),
+            f"{estimate.energy_pj / PS_ORAM.energy_pj:,.0f}x",
+        )
+        for name, estimate in (
+            ("eADR-cache", EADR_CACHE),
+            ("eADR-ORAM", EADR_ORAM),
+            ("PS-ORAM (96-entry)", PS_ORAM),
+            ("PS-ORAM (4-entry)", PS_ORAM_SMALL),
+        )
+    ]
+    print()
+    print(
+        format_table(
+            "Table 2: draining energy and time (vs PS-ORAM 96-entry)",
+            ["System", "Bytes", "Energy", "Time", "Energy vs PS"],
+            printable,
+        )
+    )
+    assert len(rows) == 4
+    # Paper's headline factors.
+    assert abs(EADR_ORAM.energy_pj / PS_ORAM.energy_pj - 29870) / 29870 < 0.07
+    assert abs(EADR_CACHE.energy_pj / PS_ORAM.energy_pj - 165) / 165 < 0.07
+    assert abs(PS_ORAM.time_ns - 161.134) / 161.134 < 0.01
+    assert abs(PS_ORAM_SMALL.time_ns - 6.713) / 6.713 < 0.01

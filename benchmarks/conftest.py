@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one table or figure of the paper; results print to
+stdout (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables) and the shape assertions document what the paper reports.
+"""

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Access-pattern leakage, measured: plain NVM vs PS-ORAM.
+
+Reproduces the paper's threat-model argument (Sections 2.1/4.6) as an
+experiment.  Two programs with very different logical behaviour run on
+
+* a plain NVM system — the bus observer trivially distinguishes them; and
+* PS-ORAM — the observed address streams become statistically
+  indistinguishable, and the persistence machinery leaks nothing extra.
+
+Run:  python examples/access_pattern_analysis.py
+"""
+
+from repro import build_variant, small_config
+from repro.security.analysis import (
+    leaf_autocorrelation,
+    path_uniformity_pvalue,
+    repeated_address_rate,
+    sequence_similarity,
+)
+from repro.security.observer import BusObserver
+from repro.util.rng import DeterministicRNG
+
+
+def database_lookup_program(controller, queries=80):
+    """Zipf-hot lookups — the searchable-encryption leak scenario."""
+    rng = DeterministicRNG(11)
+    for _ in range(queries):
+        controller.read(rng.zipf_index(50, 1.2))
+
+
+def ml_inference_program(controller, queries=80):
+    """Sequential layer sweeps — the DNN-extraction leak scenario."""
+    for i in range(queries):
+        controller.read(i % 50)
+
+
+def observe(variant: str, program, seed: int):
+    config = small_config(height=8, seed=seed)
+    controller = build_variant(variant, config)
+    # Pre-populate so reads hit real blocks.
+    for i in range(50):
+        controller.write(i, bytes([i]))
+    with BusObserver(controller.memory) as observer:
+        program(controller)
+        return observer.addresses(), config
+
+
+def main() -> None:
+    print("Two programs, two memory systems, one bus attacker.\n")
+
+    for variant in ("plain", "ps"):
+        db_a, _ = observe(variant, database_lookup_program, seed=1)
+        db_b, _ = observe(variant, database_lookup_program, seed=2)
+        ml, _ = observe(variant, ml_inference_program, seed=3)
+
+        noise = sequence_similarity(db_a, db_b)  # same program, reseeded
+        signal = sequence_similarity(db_a, ml)  # different programs
+        repeat = repeated_address_rate(db_a, window=8)
+
+        name = "plain NVM" if variant == "plain" else "PS-ORAM"
+        print(f"[{name}]")
+        print(f"  distance(db, db')  = {noise:.3f}   <- noise floor")
+        print(f"  distance(db, ml)   = {signal:.3f}   <- program leakage")
+        print(f"  repeated-address rate (window 8) = {repeat:.2%}")
+        if variant == "plain":
+            verdict = "DISTINGUISHABLE" if signal > noise + 0.2 else "?"
+        else:
+            verdict = "indistinguishable" if signal < noise + 0.1 else "LEAK!"
+        print(f"  verdict: the two programs are {verdict}\n")
+
+    # PS-ORAM specifics: do the persistence add-ons disturb the labels?
+    config = small_config(height=9, seed=4)
+    ps = build_variant("ps", config)
+    rng = DeterministicRNG(5)
+    labels = []
+    for i in range(500):
+        result = ps.write(rng.randrange(300), bytes([i % 256]))
+        if not result.stash_hit:
+            labels.append(result.old_path)
+    print("[PS-ORAM label statistics over 500 accesses]")
+    print(f"  uniformity p-value : {path_uniformity_pvalue(labels, config.oram.num_leaves):.3f}")
+    print(f"  lag-1 autocorr     : {leaf_autocorrelation(labels, config.oram.num_leaves):+.3f}")
+    print(f"  backups created    : {ps.stats.get('backups_created')} "
+          f"(all inside the trusted controller — Claim 1/2)")
+    print(f"  entries persisted  : {ps.stats.get('posmap_entries_persisted')} "
+          f"(via the PosMap WPQ — Claim 3)")
+
+
+if __name__ == "__main__":
+    main()

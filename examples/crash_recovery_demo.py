@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Walk the paper's Section-3.3 crash case studies, live.
+
+For each crash window the paper analyzes (during step 3, step 4, step 5 of
+an ORAM access), this script:
+
+* crashes a **baseline** Path ORAM there and shows the data loss the paper
+  predicts, then
+* crashes **PS-ORAM** at the same point and shows the recovery succeeding.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro import build_variant, small_config
+from repro.crashsim.checker import ConsistencyChecker
+from repro.crashsim.injector import CrashInjector
+from repro.errors import SimulatedCrash
+from repro.util.rng import DeterministicRNG
+
+#: (paper case, PS-ORAM checkpoint fired inside the interrupted access)
+CASES = [
+    ("Case 1: crash during step 3 (path load)", "step2:after-remap"),
+    ("Case 2: crash during step 4 (stash update)", "step4:after-backup"),
+    ("Case 3a: crash mid-eviction, round open", "step5:before-end"),
+    ("Case 3b: crash mid-eviction, round committed", "step5:after-end"),
+]
+
+
+def populate(controller, writes=60):
+    """Fill the ORAM and return the expected content."""
+    rng = DeterministicRNG(99)
+    model = {}
+    for i in range(writes):
+        address = rng.randrange(30)
+        value = bytes([i % 256, address]) + bytes(62)
+        controller.write(address, value)
+        model[address] = value
+    return model
+
+
+def surviving_fraction(controller, model) -> float:
+    """Fraction of previously acknowledged writes that read back intact."""
+    intact = 0
+    for address, expected in model.items():
+        try:
+            if controller.read(address).data == expected:
+                intact += 1
+        except Exception:  # pragma: no cover - baseline may be inconsistent
+            pass
+    return intact / len(model)
+
+
+def demo_baseline() -> None:
+    print("=" * 72)
+    print("BASELINE Path ORAM (no crash-consistency support)")
+    print("=" * 72)
+    controller = build_variant("baseline", small_config(height=7, seed=1))
+    model = populate(controller)
+    controller.crash()  # stash + PosMap gone, per Section 3.3
+    recovered = controller.recover()
+    fraction = surviving_fraction(controller, model)
+    print(f"recover() -> {recovered}  (the baseline has nothing to recover from)")
+    print(f"acknowledged writes surviving: {fraction:.0%}")
+    print("The PosMap updates were volatile: blocks are now unreachable or\n"
+          "stale — exactly the Case 1-3 failures of Section 3.3.\n")
+
+
+def demo_ps_oram() -> None:
+    print("=" * 72)
+    print("PS-ORAM (temporary PosMap + backup blocks + atomic dual-WPQ rounds)")
+    print("=" * 72)
+    for title, point in CASES:
+        controller = build_variant("ps", small_config(height=7, seed=1))
+        checker = ConsistencyChecker(controller)
+        rng = DeterministicRNG(99)
+        for i in range(60):
+            checker.write(rng.randrange(30), bytes([i % 256]))
+
+        injector = CrashInjector(controller)
+        injector.arm(point)
+        try:
+            checker.write(7, b"in-flight value")
+            acked = True
+        except SimulatedCrash:
+            checker.note_interrupted_write(7, b"in-flight value")
+            acked = False
+        injector.disarm()
+        controller.crash()
+        recovered = controller.recover()
+        report = checker.verify()
+        print(f"{title}")
+        print(f"  crash fired at {injector.fired_point}; interrupted access "
+              f"{'completed' if acked else 'rolled back/committed atomically'}")
+        print(f"  recover() -> {recovered}; "
+              f"{report.checked} addresses verified, "
+              f"{len(report.violations)} violations")
+        assert recovered and report.consistent
+    print("\nEvery window recovers consistently — the Section 4.3 analysis, "
+          "mechanically checked.")
+
+
+def main() -> None:
+    demo_baseline()
+    demo_ps_oram()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Mini evaluation sweep: Figure 5/6-style results from the command line.
+
+Runs a configurable subset of the Table-4 workloads over the evaluated
+system variants and prints execution time and NVM traffic normalized to
+the baseline — the same pipeline the benchmarks use, sized for a quick
+interactive run.
+
+Run:  python examples/performance_sweep.py [--workloads N] [--refs N]
+"""
+
+import argparse
+
+from repro.bench.harness import FULL_WORKLOADS, format_table
+from repro.config import small_config
+from repro.core.variants import NON_RECURSIVE_VARIANTS, RECURSIVE_VARIANTS
+from repro.sim.results import geometric_mean, normalize
+from repro.sim.runner import run_variants
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", type=int, default=3,
+                        help="how many Table-4 workloads to run (default 3)")
+    parser.add_argument("--refs", type=int, default=800,
+                        help="memory references per workload (default 800)")
+    parser.add_argument("--height", type=int, default=9,
+                        help="ORAM tree height (default 9)")
+    parser.add_argument("--recursive", action="store_true",
+                        help="also run the recursive variants (slower)")
+    args = parser.parse_args()
+
+    variants = list(NON_RECURSIVE_VARIANTS)
+    if args.recursive:
+        variants += list(RECURSIVE_VARIANTS)
+    workloads = FULL_WORKLOADS[: args.workloads]
+    config = small_config(height=args.height)
+
+    print(f"running {len(variants)} variants x {len(workloads)} workloads "
+          f"({args.refs} refs each, tree height {args.height})...\n")
+    results = run_variants(
+        variants, config, workloads,
+        references=args.refs, warmup_references=args.refs // 5,
+    )
+
+    for metric, title in (
+        ("cycles", "Execution time (normalized to baseline) — Figure 5 analogue"),
+        ("nvm_writes", "NVM write traffic (normalized) — Figure 6(b) analogue"),
+        ("nvm_reads", "NVM read traffic (normalized) — Figure 6(a) analogue"),
+    ):
+        table = normalize(results, "baseline", metric)
+        rows = [
+            (variant,
+             *(table[variant].get(w, float("nan")) for w in workloads),
+             geometric_mean(table[variant].values()))
+            for variant in variants
+        ]
+        print(format_table(title, ["Variant", *workloads, "geomean"], rows))
+        print()
+
+
+if __name__ == "__main__":
+    main()

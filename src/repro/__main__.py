@@ -1,0 +1,8 @@
+"""``python -m repro`` — regenerate the paper's evaluation as text tables."""
+
+import sys
+
+from repro.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""An oblivious, crash-safe key-value store.
+
+Layout over the ORAM's logical block space::
+
+    [ header | directory buckets | data blocks ... ]
+
+* the **header** (block 0) holds the allocator state epoch;
+* the **directory** is a fixed array of hash buckets; each bucket block
+  packs up to 4 entries of ``(key fingerprint, start block, chunk count,
+  generation)``;
+* **values** span chained data blocks (62 payload bytes each);
+* a **free list** is rebuilt on open by scanning directory entries — the
+  store needs no separate persistent allocator state, which keeps every
+  mutation's commit point a single directory-bucket write.
+
+Write protocol (crash-atomic): write the new value's chunks to fresh
+blocks, then write the directory bucket with the entry now pointing at
+them.  A crash before the bucket write leaves the old entry (old value)
+intact; after it, the new value is fully durable.  The superseded chunks
+are reclaimed lazily.
+
+Obliviousness: every operation is a fixed pattern of ORAM block accesses
+keyed by a `BLAKE2` fingerprint, so bucket choice reveals nothing about the
+key to a bus observer (the ORAM hides the bucket index itself anyway).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+
+_ENTRY_BYTES = 16  # fingerprint(6) | start(4) | chunks(2) | generation(4)
+_ENTRIES_PER_BUCKET = 4
+_CHUNK_PAYLOAD = 62  # 64 - (index, length) header
+
+
+class StoreFullError(ReproError):
+    """No free data blocks or directory slots remain."""
+
+
+class ObliviousKVStore:
+    """Dict-like storage over a crash-consistent ORAM controller."""
+
+    def __init__(self, controller, directory_buckets: int = 64):
+        capacity = controller.oram_config.num_logical_blocks
+        if directory_buckets < 1:
+            raise ValueError("need at least one directory bucket")
+        if capacity < directory_buckets + 8:
+            raise ValueError("ORAM too small for this directory size")
+        self._oram = controller
+        self._buckets = directory_buckets
+        self._data_base = 1 + directory_buckets
+        self._data_blocks = capacity - self._data_base
+        self._free: List[int] = []
+        self._used: Set[int] = set()
+        self._generation = 0
+        self._recover_allocator()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: bytes) -> None:
+        """Store ``value``; atomic and durable on return."""
+        chunks = [
+            value[i : i + _CHUNK_PAYLOAD]
+            for i in range(0, len(value), _CHUNK_PAYLOAD)
+        ] or [b""]
+        if len(chunks) > 0xFFFF:
+            raise ValueError("value too large")
+        blocks = self._allocate(len(chunks))
+        for index, (block, chunk) in enumerate(zip(blocks, chunks)):
+            header = bytes([index & 0xFF, len(chunk)])
+            self._oram.write(block, header + chunk)
+        # Commit point: one directory-bucket write.
+        bucket_index, payload, slot, old = self._locate(key)
+        self._generation += 1
+        entry = self._pack_entry(
+            self._fingerprint(key), blocks[0], len(chunks), self._generation
+        )
+        new_payload = (
+            payload[: slot * _ENTRY_BYTES]
+            + entry
+            + payload[(slot + 1) * _ENTRY_BYTES :]
+        )
+        self._oram.write(1 + bucket_index, new_payload)
+        if old is not None:
+            self._release(old[0], old[1])
+
+    def get(self, key: str) -> bytes:
+        """Fetch a value; raises ``KeyError`` when absent."""
+        _, _, _, found = self._locate(key)
+        if found is None:
+            raise KeyError(key)
+        start, count = found
+        out = bytearray()
+        for index in range(count):
+            block = self._oram.read(start + index).data
+            out.extend(block[2 : 2 + block[1]])
+        return bytes(out)
+
+    def delete(self, key: str) -> None:
+        """Remove a key; atomic; raises ``KeyError`` when absent."""
+        bucket_index, payload, slot, found = self._locate(key)
+        if found is None:
+            raise KeyError(key)
+        cleared = (
+            payload[: slot * _ENTRY_BYTES]
+            + bytes(_ENTRY_BYTES)
+            + payload[(slot + 1) * _ENTRY_BYTES :]
+        )
+        self._oram.write(1 + bucket_index, cleared)
+        self._release(found[0], found[1])
+
+    def __contains__(self, key: str) -> bool:
+        return self._locate(key)[3] is not None
+
+    def keys_fingerprints(self) -> Iterator[bytes]:
+        """Fingerprints of stored keys (keys themselves are never stored)."""
+        for bucket in range(self._buckets):
+            payload = self._oram.read(1 + bucket).data
+            for slot in range(_ENTRIES_PER_BUCKET):
+                entry = payload[slot * _ENTRY_BYTES : (slot + 1) * _ENTRY_BYTES]
+                if any(entry):
+                    yield entry[:6]
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    # ------------------------------------------------------------------
+    # crash plumbing
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        self._oram.crash()
+
+    def recover(self) -> bool:
+        """Recover the ORAM, then rebuild the volatile allocator state."""
+        if not self._oram.recover():
+            return False
+        self._recover_allocator()
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _fingerprint(key: str) -> bytes:
+        return hashlib.blake2b(key.encode("utf-8"), digest_size=6).digest()
+
+    def _bucket_of(self, key: str) -> int:
+        return int.from_bytes(self._fingerprint(key), "little") % self._buckets
+
+    @staticmethod
+    def _pack_entry(fingerprint: bytes, start: int, chunks: int, gen: int) -> bytes:
+        return (
+            fingerprint
+            + start.to_bytes(4, "little")
+            + chunks.to_bytes(2, "little")
+            + (gen & 0xFFFFFFFF).to_bytes(4, "little")
+        )
+
+    def _locate(
+        self, key: str
+    ) -> Tuple[int, bytes, int, Optional[Tuple[int, int]]]:
+        """(bucket index, bucket payload, usable slot, existing (start, count))."""
+        bucket_index = self._bucket_of(key)
+        payload = self._oram.read(1 + bucket_index).data
+        fingerprint = self._fingerprint(key)
+        free_slot = None
+        for slot in range(_ENTRIES_PER_BUCKET):
+            entry = payload[slot * _ENTRY_BYTES : (slot + 1) * _ENTRY_BYTES]
+            if not any(entry):
+                if free_slot is None:
+                    free_slot = slot
+                continue
+            if entry[:6] == fingerprint:
+                start = int.from_bytes(entry[6:10], "little")
+                count = int.from_bytes(entry[10:12], "little")
+                return bucket_index, payload, slot, (start, count)
+        if free_slot is None:
+            raise StoreFullError(
+                f"directory bucket {bucket_index} full (4 colliding keys)"
+            )
+        return bucket_index, payload, free_slot, None
+
+    def _allocate(self, count: int) -> List[int]:
+        """Contiguous-run allocation from the free list."""
+        if count == 1:
+            if not self._free:
+                raise StoreFullError("out of data blocks")
+            block = self._free.pop()
+            self._used.add(block)
+            return [block]
+        # Find a contiguous run (values are short in practice).
+        free_sorted = sorted(self._free)
+        run_start = 0
+        for i in range(1, len(free_sorted) + 1):
+            if (
+                i == len(free_sorted)
+                or free_sorted[i] != free_sorted[i - 1] + 1
+            ):
+                if i - run_start >= count:
+                    chosen = free_sorted[run_start : run_start + count]
+                    for block in chosen:
+                        self._free.remove(block)
+                        self._used.add(block)
+                    return chosen
+                run_start = i
+        raise StoreFullError(f"no contiguous run of {count} blocks")
+
+    def _release(self, start: int, count: int) -> None:
+        for block in range(start, start + count):
+            if block in self._used:
+                self._used.remove(block)
+                self._free.append(block)
+
+    def _recover_allocator(self) -> None:
+        """Scan the directory and rebuild free list + generation counter."""
+        self._used = set()
+        self._generation = 0
+        for bucket in range(self._buckets):
+            payload = self._oram.read(1 + bucket).data
+            for slot in range(_ENTRIES_PER_BUCKET):
+                entry = payload[slot * _ENTRY_BYTES : (slot + 1) * _ENTRY_BYTES]
+                if not any(entry):
+                    continue
+                start = int.from_bytes(entry[6:10], "little")
+                count = int.from_bytes(entry[10:12], "little")
+                gen = int.from_bytes(entry[12:16], "little")
+                self._generation = max(self._generation, gen)
+                for block in range(start, start + count):
+                    self._used.add(block)
+        self._free = [
+            self._data_base + i
+            for i in range(self._data_blocks)
+            if (self._data_base + i) not in self._used
+        ]

@@ -1,0 +1,111 @@
+"""An oblivious, crash-safe FIFO queue.
+
+A circular buffer over a fixed extent of ORAM blocks with a single header
+block carrying ``(head, tail, epoch)``.  The commit protocol keeps each
+operation atomic across crashes:
+
+* **enqueue**: write the item into the tail slot, then write the header
+  with ``tail + 1`` — a crash between the two leaves the old header, so the
+  half-written item is simply outside the valid window;
+* **dequeue**: read the head slot, then write the header with ``head + 1``
+  — a crash before the header write re-delivers the item (at-least-once),
+  which is the standard durable-queue contract; exactly-once needs consumer
+  dedup by ``epoch``.
+
+Every operation costs exactly two ORAM accesses (slot + header), a fixed
+observable pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class QueueFullError(ReproError):
+    """The circular extent is exhausted."""
+
+
+class QueueEmptyError(ReproError):
+    """Dequeue from an empty queue."""
+
+
+_ITEM_PAYLOAD = 62  # 64 - 2-byte length header
+
+
+class ObliviousQueue:
+    """Bounded FIFO over a crash-consistent ORAM controller."""
+
+    def __init__(self, controller, base_block: int, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        top = base_block + 1 + capacity
+        if top > controller.oram_config.num_logical_blocks:
+            raise ValueError("queue extent exceeds ORAM capacity")
+        self._oram = controller
+        self._header_block = base_block
+        self._slot_base = base_block + 1
+        self.capacity = capacity
+
+    # -- header -------------------------------------------------------------
+
+    def _read_header(self) -> Tuple[int, int, int]:
+        raw = self._oram.read(self._header_block).data
+        head = int.from_bytes(raw[0:8], "little")
+        tail = int.from_bytes(raw[8:16], "little")
+        epoch = int.from_bytes(raw[16:24], "little")
+        return head, tail, epoch
+
+    def _write_header(self, head: int, tail: int, epoch: int) -> None:
+        self._oram.write(
+            self._header_block,
+            head.to_bytes(8, "little")
+            + tail.to_bytes(8, "little")
+            + epoch.to_bytes(8, "little"),
+        )
+
+    # -- operations -----------------------------------------------------------
+
+    def enqueue(self, item: bytes) -> int:
+        """Append an item; returns its epoch number.  Atomic + durable."""
+        if len(item) > _ITEM_PAYLOAD:
+            raise ValueError(f"item exceeds {_ITEM_PAYLOAD} bytes")
+        head, tail, epoch = self._read_header()
+        if tail - head >= self.capacity:
+            raise QueueFullError(f"queue holds {self.capacity} items")
+        slot = self._slot_base + tail % self.capacity
+        self._oram.write(slot, len(item).to_bytes(2, "little") + item)
+        # Commit point.
+        self._write_header(head, tail + 1, epoch + 1)
+        return epoch + 1
+
+    def dequeue(self) -> bytes:
+        """Pop the oldest item (at-least-once across crashes)."""
+        head, tail, epoch = self._read_header()
+        if head == tail:
+            raise QueueEmptyError("queue is empty")
+        slot = self._slot_base + head % self.capacity
+        raw = self._oram.read(slot).data
+        length = int.from_bytes(raw[0:2], "little")
+        item = raw[2 : 2 + length]
+        # Commit point.
+        self._write_header(head + 1, tail, epoch + 1)
+        return item
+
+    def peek(self) -> Optional[bytes]:
+        """The oldest item without removing it, or None."""
+        head, tail, _ = self._read_header()
+        if head == tail:
+            return None
+        raw = self._oram.read(self._slot_base + head % self.capacity).data
+        return raw[2 : 2 + int.from_bytes(raw[0:2], "little")]
+
+    def __len__(self) -> int:
+        head, tail, _ = self._read_header()
+        return tail - head
+
+    @property
+    def epoch(self) -> int:
+        """Monotone operation counter (consumer dedup handle)."""
+        return self._read_header()[2]

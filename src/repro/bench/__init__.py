@@ -1,0 +1,19 @@
+"""Shared harness for the benchmark suite (one bench per paper table/figure)."""
+
+from repro.bench.harness import (
+    BENCH_CONFIG,
+    BENCH_REFERENCES,
+    BENCH_WARMUP,
+    BENCH_WORKLOADS,
+    format_table,
+    sweep,
+)
+
+__all__ = [
+    "BENCH_CONFIG",
+    "BENCH_REFERENCES",
+    "BENCH_WARMUP",
+    "BENCH_WORKLOADS",
+    "format_table",
+    "sweep",
+]

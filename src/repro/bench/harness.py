@@ -1,0 +1,109 @@
+"""Shared harness for the benchmark suite.
+
+The benches run the same pipeline the paper does — workload trace through
+core + caches + variant controller — at a laptop-scale tree (height 10
+instead of 23) and a few thousand LLC misses per point instead of millions.
+Normalized results are what the paper reports and what the reduced scale
+preserves; EXPERIMENTS.md records paper-vs-measured per figure.
+
+Set ``REPRO_BENCH_SCALE`` in the environment to scale reference counts
+(e.g. ``REPRO_BENCH_SCALE=5`` for 5x longer runs).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import SystemConfig, small_config
+from repro.sim.results import RunResult
+from repro.sim.runner import run_variants
+from repro.workloads.trace import Trace
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+#: Tree height used by the timing benches (protocol is height-independent;
+#: see DESIGN.md).
+BENCH_HEIGHT = 10
+
+#: Memory references per workload replay (before scaling).
+BENCH_REFERENCES = int(1200 * _SCALE)
+BENCH_WARMUP = int(200 * _SCALE)
+
+#: Default workload subset for per-bench runs: one of each pattern family.
+#: The figure benches run the full Table-4 suite via --full runs or the
+#: module mains; pytest-benchmark runs use this subset to stay fast.
+BENCH_WORKLOADS = (
+    "401.bzip2",      # streaming, high MPKI
+    "429.mcf",        # pointer chase
+    "403.gcc",        # low MPKI working set
+    "471.omnetpp",    # zipf
+)
+
+#: Full Table-4 suite, importable by module mains.
+FULL_WORKLOADS = (
+    "401.bzip2", "403.gcc", "429.mcf", "445.gobmk", "456.hmmer",
+    "458.sjeng", "462.libquantum", "464.h264ref", "471.omnetpp",
+    "483.xalancbmk", "444.namd", "453.povray", "470.lbm", "482.sphinx3",
+)
+
+BENCH_CONFIG = small_config(height=BENCH_HEIGHT)
+
+_trace_cache: Dict[str, Trace] = {}
+_result_cache: Dict[tuple, List[RunResult]] = {}
+
+
+def sweep(
+    variants: Sequence[str],
+    workloads: Sequence[str] = BENCH_WORKLOADS,
+    config: Optional[SystemConfig] = None,
+    references: int = BENCH_REFERENCES,
+    warmup: int = BENCH_WARMUP,
+) -> List[RunResult]:
+    """Run every variant on every workload with shared trace caching.
+
+    Results are memoized per (variants, workloads, config, sizes) so the
+    figure benches that share underlying runs (e.g. Fig 5 performance and
+    Fig 6 traffic) execute the simulation once per session.
+    """
+    config = config or BENCH_CONFIG
+    key = (tuple(variants), tuple(workloads), repr(config), references, warmup)
+    cached = _result_cache.get(key)
+    if cached is not None:
+        return cached
+    results = run_variants(
+        variants,
+        config,
+        workloads,
+        references=references,
+        warmup_references=warmup,
+        trace_cache=_trace_cache,
+    )
+    _result_cache[key] = results
+    return results
+
+
+def format_table(
+    title: str,
+    header: Iterable[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Render an aligned text table (the benches print paper-style rows)."""
+    header = list(header)
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

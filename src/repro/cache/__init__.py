@@ -1,0 +1,11 @@
+"""On-chip cache substrate: set-associative LRU caches and the L1/L2 hierarchy.
+
+Used by the workload layer to derive LLC miss streams (what the ORAM
+controller actually sees) from raw address traces, and by the MPKI
+calibration bench (Table 4).
+"""
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.setassoc import SetAssociativeCache
+
+__all__ = ["SetAssociativeCache", "CacheHierarchy"]

@@ -1,0 +1,15 @@
+"""Cache line bookkeeping for the set-associative model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheLine:
+    """Tag + state for one resident line (data lives in main memory models)."""
+
+    tag: int
+    valid: bool = False
+    dirty: bool = False
+    last_use: int = 0

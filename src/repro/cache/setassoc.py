@@ -1,0 +1,88 @@
+"""A set-associative write-back cache with true-LRU replacement.
+
+Only the *tag array* is modelled — this is a hit/miss filter, not a data
+store; the payload bytes live in the NVM/ORAM models behind it.  That is all
+the evaluation needs: the ORAM controller is exercised by the LLC *miss*
+stream, and Table 4 reports MPKI which this cache computes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.cacheline import CacheLine
+from repro.config import CacheConfig
+from repro.util.stats import StatSet
+
+
+class SetAssociativeCache:
+    """Tag-array model of one cache level."""
+
+    def __init__(self, config: CacheConfig):
+        config.validate()
+        self.config = config
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(config.num_sets)]
+        self._clock = 0
+        self.stats = StatSet(config.name)
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        """(set index, tag) for an address."""
+        line_addr = address // self.config.line_bytes
+        return line_addr % self.config.num_sets, line_addr // self.config.num_sets
+
+    def lookup(self, address: int) -> bool:
+        """Probe without side effects: is the line resident?"""
+        set_idx, tag = self._locate(address)
+        line = self._sets[set_idx].get(tag)
+        return line is not None and line.valid
+
+    def access(self, address: int, is_write: bool) -> Tuple[bool, Optional[int]]:
+        """Access the cache.
+
+        Returns ``(hit, writeback_address)``: ``writeback_address`` is the
+        full byte address of a dirty line evicted to make room, or ``None``.
+        On a miss the line is allocated (write-allocate policy).
+        """
+        self._clock += 1
+        set_idx, tag = self._locate(address)
+        bucket = self._sets[set_idx]
+        line = bucket.get(tag)
+        if line is not None and line.valid:
+            line.last_use = self._clock
+            if is_write:
+                line.dirty = True
+            self.stats.counter("hits").add()
+            return True, None
+
+        self.stats.counter("misses").add()
+        writeback = None
+        if len(bucket) >= self.config.ways:
+            victim_tag, victim = min(bucket.items(), key=lambda kv: kv[1].last_use)
+            del bucket[victim_tag]
+            if victim.dirty:
+                victim_line_addr = victim_tag * self.config.num_sets + set_idx
+                writeback = victim_line_addr * self.config.line_bytes
+                self.stats.counter("writebacks").add()
+        bucket[tag] = CacheLine(tag=tag, valid=True, dirty=is_write, last_use=self._clock)
+        return False, writeback
+
+    def invalidate_all(self) -> None:
+        """Drop every line (used when simulating a crash: caches are volatile)."""
+        for bucket in self._sets:
+            bucket.clear()
+
+    @property
+    def hits(self) -> int:
+        return self.stats.get("hits")
+
+    @property
+    def misses(self) -> int:
+        return self.stats.get("misses")
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,40 @@
+"""Backup (shadow) block creation — paper Section 4.2.1 step 4.
+
+When block ``a`` is remapped from path ``l`` to ``l'``, its *current*
+content is copied into the stash as a backup block still labelled ``l``.
+The backup is evicted back onto path ``l`` in the very same eviction round
+(the eviction path *is* ``l``), so a durable copy of the block always
+exists: either the backup on the old path (while the live copy waits in the
+stash) or the live copy on the new path (after which the backup is stale).
+
+Two deliberate choices, both recorded in DESIGN.md:
+
+* the backup carries the **post-write** data, so a write acknowledged by a
+  completed access is durable the moment that access's eviction round
+  commits — recovering the pre-write value would silently lose acknowledged
+  writes;
+* the backup keeps a **lower version number** than the live copy, so the
+  staleness rules in the controller resolve even the corner where the
+  fresh remap draws the old leaf again (``l' == l``).
+"""
+
+from __future__ import annotations
+
+from repro.oram.block import Block
+from repro.oram.stash import StashEntry
+
+
+def make_backup_entry(live: StashEntry, old_path: int) -> StashEntry:
+    """Create the backup stash entry for a just-accessed block.
+
+    Must be called while ``live`` still carries its pre-remap version (the
+    caller bumps the live version afterwards so the live copy always wins
+    version comparison).
+    """
+    backup_block = Block(
+        address=live.block.address,
+        path_id=old_path,
+        data=live.block.data,
+        version=live.block.version,
+    )
+    return StashEntry(backup_block, dirty=True, is_backup=True)

@@ -1,0 +1,44 @@
+"""Naive-PS-ORAM: flush-all PosMap persistence (paper Section 4.2.2 footnote).
+
+Identical to PS-ORAM except in what it pushes into the PosMap WPQ: instead
+of only the *dirty* entries, it persists one PosMap entry for **every** slot
+written on the eviction path — ``Z * (L + 1)`` non-coalesced entry writes per
+access.  Real blocks persist their actual mapping; dummy slots persist a
+padding entry (the hardware analogue writes the entry line regardless of
+content).  This is the straw-man whose overhead (roughly doubling the write
+traffic, ~74% slowdown) motivates dirty-entry tracking.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.controller import PSORAMController
+from repro.oram.stash import StashEntry
+
+
+class NaivePSORAMController(PSORAMController):
+    """PS-ORAM with all-entry (rather than dirty-entry) persistence."""
+
+    def _dirty_entries_for(
+        self, placed: List[StashEntry]
+    ) -> List[Tuple[int, int]]:
+        """Persist an entry for every slot on the path, not just dirty ones.
+
+        Live placed blocks persist their architecturally current mapping.
+        The remaining slots up to ``Z * (L + 1)`` — dummies and backup
+        copies — become padding entry writes (sentinel address -1): the
+        line write happens (that is the overhead being measured) but no
+        mapping changes, so a padding write can never regress a real entry.
+        """
+        entries: List[Tuple[int, int]] = []
+        for entry in placed:
+            if entry.is_backup:
+                continue
+            address = entry.block.address
+            pending = self.temp_posmap.get(address)
+            path = pending if pending is not None else self.posmap.get(address)
+            entries.append((address, path))
+        padding = self.tree.path_slots - len(entries)
+        entries.extend((-1, 0) for _ in range(max(0, padding)))
+        return entries

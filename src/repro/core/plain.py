@@ -1,0 +1,105 @@
+"""Plain (non-ORAM) NVM memory controller.
+
+The yardstick for the paper's Section 5.1 remark that Path ORAM costs
+2x-24x (about 11x on average, single channel) over an unprotected NVM
+system: every LLC miss is a single line access, no obfuscation, no
+metadata.  Implements the same ``access``/``read``/``write`` interface as
+the ORAM controllers so the simulator and benches can swap it in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.errors import InvalidAddressError
+from repro.mem.controller import NVMMainMemory
+from repro.mem.request import Access, RequestKind
+from repro.oram.controller import AccessResult
+from repro.util.clock import ClockDomain
+from repro.util.stats import StatSet
+
+
+class PlainNVMController:
+    """Direct-mapped, unprotected NVM access (no ORAM)."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        memory: Optional[NVMMainMemory] = None,
+        key: bytes = b"",
+    ):
+        config.validate()
+        self.config = config
+        self.oram_config = config.oram  # reused for address-space sizing
+        self.memory = memory or NVMMainMemory(
+            config.nvm,
+            channels=config.channels,
+            banks_per_channel=config.banks_per_channel,
+            line_bytes=config.oram.block_bytes,
+        )
+        self.clock = ClockDomain(config.core.freq_hz, config.nvm.freq_hz)
+        self.now = 0
+        self.stats = StatSet("plain")
+
+    def read(self, address: int, start_cycle: Optional[int] = None) -> AccessResult:
+        return self.access(address, is_write=False, start_cycle=start_cycle)
+
+    def write(
+        self, address: int, data: bytes, start_cycle: Optional[int] = None
+    ) -> AccessResult:
+        return self.access(address, is_write=True, data=data, start_cycle=start_cycle)
+
+    def access(
+        self,
+        address: int,
+        is_write: bool,
+        data: Optional[bytes] = None,
+        start_cycle: Optional[int] = None,
+    ) -> AccessResult:
+        """One line access: reads stall the core, writes are posted."""
+        if not 0 <= address < self.oram_config.num_logical_blocks:
+            raise InvalidAddressError(f"address {address} out of range")
+        start = self.now if start_cycle is None else max(self.now, start_cycle)
+        self.now = start
+        self.stats.counter("accesses").add()
+        line_address = address * self.oram_config.block_bytes
+        mem_start = self.clock.core_to_mem(self.now)
+        if is_write:
+            payload = bytes(data or b"")
+            payload = payload + bytes(self.oram_config.block_bytes - len(payload))
+            self.memory.access(
+                line_address, Access.WRITE, mem_start, RequestKind.PLAIN, data=payload
+            )
+            result = payload
+        else:
+            request = self.memory.access(
+                line_address, Access.READ, mem_start, RequestKind.PLAIN
+            )
+            self.now = self.clock.mem_to_core(request.complete_cycle or mem_start)
+            stored = self.memory.load_line(line_address)
+            result = stored if stored is not None else bytes(self.oram_config.block_bytes)
+        return AccessResult(
+            address=address,
+            is_write=is_write,
+            data=result,
+            stash_hit=False,
+            old_path=0,
+            new_path=0,
+            start_cycle=start,
+            finish_cycle=self.now,
+        )
+
+    def crash(self) -> None:
+        """NVM content survives; nothing volatile worth modelling."""
+
+    def recover(self) -> bool:
+        return True
+
+    def supports_crash_consistency(self) -> bool:
+        """Single-line writes are individually atomic at line granularity."""
+        return True
+
+    @property
+    def traffic(self):
+        return self.memory.traffic

@@ -1,0 +1,76 @@
+"""The temporary PosMap (paper Section 4.1).
+
+When an access remaps block ``a`` from path ``l`` to ``l'``, PS-ORAM does
+*not* overwrite the persistent PosMap: the pair ``(a, l')`` is parked in
+this small on-chip buffer.  The persistent PosMap keeps saying ``l`` — where
+a durable copy of the block still lives — until the block itself has been
+durably evicted to ``l'``; only then does the entry drain (atomically with
+the data, through the PosMap WPQ).
+
+Lookups consult this buffer before the main PosMap, so the controller
+always sees the architecturally current mapping.  The buffer is volatile:
+a crash empties it, which is exactly what makes the recovery consistent
+(the persistent PosMap then points at the backup copies).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
+
+
+class TempPosMap:
+    """Bounded insertion-ordered buffer of (address -> pending path id)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"temporary PosMap capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, int]" = OrderedDict()
+        self.peak_occupancy = 0
+
+    def get(self, address: int) -> Optional[int]:
+        """Pending path id for ``address``, or None."""
+        return self._entries.get(address)
+
+    def set(self, address: int, path_id: int) -> None:
+        """Record a pending remap; refreshes insertion order on update."""
+        if address in self._entries:
+            del self._entries[address]
+        self._entries[address] = path_id
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+
+    def pop(self, address: int) -> Optional[int]:
+        """Remove and return the pending entry for ``address``."""
+        return self._entries.pop(address, None)
+
+    def oldest(self) -> Optional[Tuple[int, int]]:
+        """The oldest pending entry, or None."""
+        if not self._entries:
+            return None
+        address = next(iter(self._entries))
+        return address, self._entries[address]
+
+    def items(self) -> List[Tuple[int, int]]:
+        return list(self._entries.items())
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def clear(self) -> None:
+        """Volatile loss on crash."""
+        self._entries.clear()
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)

@@ -1,0 +1,92 @@
+"""Factory for every evaluated system variant (paper Section 5.1).
+
+=================  ============================================================
+name               system
+=================  ============================================================
+``plain``          non-ORAM NVM (the 11x yardstick)
+``baseline``       Path ORAM on NVM, no crash consistency
+``fullnvm``        on-chip stash/PosMap built from PCM cells
+``fullnvm-stt``    on-chip stash/PosMap built from STT-RAM cells
+``naive-ps``       PS-ORAM persisting all Z*(L+1) PosMap entries per access
+``ps``             PS-ORAM (dirty-entry persistence) — the paper's design
+``rcr-baseline``   recursive ORAM, PosMap tree written every access, volatile
+                   stash (persistent but not crash-consistent)
+``rcr-ps``         recursive PS-ORAM (crash-consistent)
+=================  ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.config import SystemConfig
+from repro.core.controller import PSORAMController
+from repro.core.eadr import EADRORAMController
+from repro.core.fullnvm import FullNVMController
+from repro.core.naive import NaivePSORAMController
+from repro.core.plain import PlainNVMController
+from repro.core.recursive_ps import RcrPSORAMController
+from repro.mem.controller import NVMMainMemory
+from repro.oram.controller import PathORAMController
+from repro.oram.recursive import RecursivePathORAM
+
+VARIANTS: Dict[str, Callable] = {
+    "plain": PlainNVMController,
+    "baseline": PathORAMController,
+    "fullnvm": FullNVMController,
+    "fullnvm-stt": FullNVMController.stt,
+    "naive-ps": NaivePSORAMController,
+    "ps": PSORAMController,
+    "rcr-baseline": RecursivePathORAM,
+    "rcr-ps": RcrPSORAMController,
+    "eadr-oram": EADRORAMController,
+}
+
+
+def _hybrid_factory(config, memory=None, key=b"repro-psoram-key"):
+    from repro.hybrid.controller import HybridPSORAMController
+
+    return HybridPSORAMController(config, memory=memory, key=key)
+
+
+def _ring_factory(config, memory=None, key=b"repro-psoram-key"):
+    from repro.ring.controller import RingORAMController
+
+    return RingORAMController(config, memory=memory, key=key)
+
+
+def _ring_ps_factory(config, memory=None, key=b"repro-psoram-key"):
+    from repro.ring.ps import PSRingController
+
+    return PSRingController(config, memory=memory, key=key)
+
+
+VARIANTS["ps-hybrid"] = _hybrid_factory
+VARIANTS["ring-baseline"] = _ring_factory
+VARIANTS["ring-ps"] = _ring_ps_factory
+
+#: Variants evaluated in Figure 5(a) (non-recursive systems).
+NON_RECURSIVE_VARIANTS = ("baseline", "fullnvm", "fullnvm-stt", "naive-ps", "ps")
+
+#: Variants evaluated in Figure 5(b) (recursive systems).
+RECURSIVE_VARIANTS = ("rcr-baseline", "rcr-ps")
+
+
+def build_variant(
+    name: str,
+    config: SystemConfig,
+    memory: Optional[NVMMainMemory] = None,
+    key: bytes = b"repro-psoram-key",
+):
+    """Instantiate a variant by name.
+
+    Raises ``KeyError`` with the list of known names on a typo — catching a
+    misspelt variant early beats a confusing downstream failure.
+    """
+    try:
+        factory = VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown variant {name!r}; known: {', '.join(sorted(VARIANTS))}"
+        ) from None
+    return factory(config, memory=memory, key=key)

@@ -1,0 +1,20 @@
+"""Crash-injection harness and consistency oracle.
+
+* :mod:`repro.crashsim.injector` — arms a controller's crash hook so a
+  simulated power loss fires at a chosen protocol step (or randomly), then
+  runs crash + recovery.
+* :mod:`repro.crashsim.checker` — the oracle: tracks every acknowledged
+  write and verifies post-recovery content (acknowledged writes durable,
+  in-flight accesses atomic).
+"""
+
+from repro.crashsim.checker import ConsistencyChecker, CheckReport
+from repro.crashsim.injector import CRASH_POINTS, CrashInjector, CrashOutcome
+
+__all__ = [
+    "ConsistencyChecker",
+    "CheckReport",
+    "CrashInjector",
+    "CrashOutcome",
+    "CRASH_POINTS",
+]

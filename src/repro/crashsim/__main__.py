@@ -1,0 +1,8 @@
+"""``python -m repro.crashsim`` — crash-fuzzing campaign entry point."""
+
+import sys
+
+from repro.crashsim.fuzzer import main
+
+if __name__ == "__main__":
+    sys.exit(main())

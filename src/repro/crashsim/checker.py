@@ -1,0 +1,102 @@
+"""The consistency oracle.
+
+Wraps a controller and tracks the ground truth the crash tests assert:
+
+* every **acknowledged** write (the ``write()`` call returned) must read
+  back exactly after any crash + recovery;
+* an **in-flight** write (interrupted by the crash) must be atomic: the
+  post-recovery value is either the old or the new content, never a mix;
+* all *other* addresses are untouched.
+
+This encodes the paper's Section 3/4.3 requirements as a checkable
+contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CheckReport:
+    """Result of one post-recovery verification pass."""
+
+    checked: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+
+class ConsistencyChecker:
+    """Shadow map of acknowledged content plus in-flight tolerance."""
+
+    def __init__(self, controller):
+        self.controller = controller
+        self.block_bytes = controller.oram_config.block_bytes
+        self._acknowledged: Dict[int, bytes] = {}
+        self._in_flight: Optional[tuple] = None  # (address, old, new)
+
+    def _pad(self, data: bytes) -> bytes:
+        return bytes(data) + bytes(self.block_bytes - len(data))
+
+    # -- driving --------------------------------------------------------------
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write through the controller and record it as acknowledged."""
+        padded = self._pad(data)
+        old = self._acknowledged.get(address, bytes(self.block_bytes))
+        self._in_flight = (address, old, padded)
+        self.controller.write(address, data)
+        # The call returned: the write is acknowledged.
+        self._acknowledged[address] = padded
+        self._in_flight = None
+
+    def read(self, address: int) -> bytes:
+        """Read through the controller, verifying against the shadow map."""
+        value = self.controller.read(address).data
+        expected = self._acknowledged.get(address, bytes(self.block_bytes))
+        if value != expected:
+            raise AssertionError(
+                f"read of {address} returned {value[:8]!r}, expected {expected[:8]!r}"
+            )
+        return value
+
+    def note_interrupted_write(self, address: int, data: bytes) -> None:
+        """Record a write the caller attempted but that raised SimulatedCrash."""
+        old = self._acknowledged.get(address, bytes(self.block_bytes))
+        self._in_flight = (address, old, self._pad(data))
+
+    # -- verification -------------------------------------------------------------
+
+    def verify(self) -> CheckReport:
+        """Read back every tracked address post-recovery and report."""
+        violations: List[str] = []
+        checked = 0
+        in_flight_addr = self._in_flight[0] if self._in_flight else None
+        for address, expected in sorted(self._acknowledged.items()):
+            if address == in_flight_addr:
+                continue  # handled below with both-values tolerance
+            checked += 1
+            actual = self.controller.read(address).data
+            if actual != expected:
+                violations.append(
+                    f"address {address}: acknowledged write lost "
+                    f"(got {actual[:8]!r}, want {expected[:8]!r})"
+                )
+        if self._in_flight is not None:
+            address, old, new = self._in_flight
+            checked += 1
+            actual = self.controller.read(address).data
+            if actual not in (old, new):
+                violations.append(
+                    f"address {address}: in-flight write torn "
+                    f"(got {actual[:8]!r}, want {old[:8]!r} or {new[:8]!r})"
+                )
+            else:
+                # Whatever survived becomes the acknowledged truth.
+                self._acknowledged[address] = actual
+            self._in_flight = None
+        return CheckReport(checked=checked, violations=violations)

@@ -1,0 +1,120 @@
+"""Crash injection: stop a controller at any protocol step.
+
+The PS-ORAM controllers expose ``crash_hook``; this injector arms it to
+raise :class:`~repro.errors.SimulatedCrash` at a chosen checkpoint (or at
+the n-th checkpoint hit, or at a random one), then performs the power-loss
+sequence: unwind, ``crash()`` (ADR flushes committed WPQ rounds, SRAM
+clears), ``recover()``.
+
+This is deterministic, step-addressable power-cutting — strictly more
+thorough than physically pulling the plug, since every window of the
+protocol can be hit on demand (DESIGN.md records the substitution for the
+paper's crash scenarios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import SimulatedCrash
+from repro.util.rng import DeterministicRNG
+
+#: Checkpoints the PS-ORAM controllers fire, in protocol order.
+CRASH_POINTS = (
+    "step2:before-remap",
+    "step2:after-intent",  # Rcr-PS only
+    "step2:after-remap",
+    "step4:before-backup",
+    "step4:after-backup",
+    "step5:before-start",
+    "step5:round-open",
+    "step5:before-end",
+    "step5:after-end",
+    "step5:after-flush",
+)
+
+
+@dataclass
+class CrashOutcome:
+    """What happened around one injected crash."""
+
+    point: str
+    acknowledged: bool  # did the interrupted access return before the crash?
+    recovered: bool
+    fired: bool  # did the armed crash actually trigger?
+
+
+class CrashInjector:
+    """Arms and fires simulated crashes on a controller."""
+
+    def __init__(self, controller, rng: Optional[DeterministicRNG] = None):
+        if not hasattr(controller, "crash_hook"):
+            raise TypeError(
+                f"{type(controller).__name__} has no crash_hook; only the "
+                "PS-ORAM variants support step-level injection"
+            )
+        self.controller = controller
+        self.rng = rng or DeterministicRNG(0xC0FFEE)
+        self._armed_point: Optional[str] = None
+        self._skip_hits = 0
+        self._hits = 0
+        self.fired_point: Optional[str] = None
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(self, point: str, skip_hits: int = 0) -> None:
+        """Crash at the (skip_hits + 1)-th time ``point`` is reached."""
+        self._armed_point = point
+        self._skip_hits = skip_hits
+        self._hits = 0
+        self.fired_point = None
+        self.controller.crash_hook = self._hook
+
+    def arm_random(self, points: Optional[List[str]] = None) -> str:
+        """Crash at a uniformly chosen checkpoint; returns the choice."""
+        point = self.rng.choice(list(points or CRASH_POINTS))
+        self.arm(point)
+        return point
+
+    def disarm(self) -> None:
+        self.controller.crash_hook = None
+        self._armed_point = None
+
+    def _hook(self, label: str) -> None:
+        if label != self._armed_point:
+            return
+        if self._hits < self._skip_hits:
+            self._hits += 1
+            return
+        self.fired_point = label
+        raise SimulatedCrash(label)
+
+    # -- one-shot drive -------------------------------------------------------
+
+    def crash_during(self, operation: Callable[[], object]) -> CrashOutcome:
+        """Run ``operation`` with the armed crash; power-cycle afterwards.
+
+        Returns whether the operation was acknowledged (returned) before the
+        crash, and whether recovery succeeded.  If the armed point was never
+        reached the crash still happens *after* the operation (crash at
+        quiescence), which is the paper's "before the next ORAM access"
+        window of Case 3.
+        """
+        acknowledged = False
+        try:
+            operation()
+            acknowledged = True
+        except SimulatedCrash:
+            acknowledged = False
+        finally:
+            self.disarm()
+        point = self.fired_point or "quiescent"
+        self.controller.crash()
+        recovered = self.controller.recover()
+        return CrashOutcome(
+            point=point,
+            acknowledged=acknowledged,
+            recovered=recovered,
+            fired=self.fired_point is not None,
+        )

@@ -1,0 +1,14 @@
+"""Cryptographic substrate: keyed PRF, counter-mode cipher, timed engine.
+
+The paper assumes AES-128 counter mode with a 32-cycle hardware latency.
+We model the latency with the same constant and implement a functionally
+real (deterministic, invertible, tamper-evident) cipher on a BLAKE2 keyed
+PRF — the reproduction needs round-trip correctness and per-IV uniqueness,
+not cryptographic strength.
+"""
+
+from repro.crypto.ctr import CtrCipher
+from repro.crypto.engine import CryptoEngine
+from repro.crypto.prf import Prf
+
+__all__ = ["Prf", "CtrCipher", "CryptoEngine"]

@@ -1,0 +1,56 @@
+"""Latency-modelled encryption engine for the ORAM controller.
+
+The controller does not call :class:`CtrCipher` directly: it goes through
+this engine, which performs the real operation *and* accounts the AES
+pipeline latency.  Following the paper (and Osiris), decryption-pad
+generation is overlapped with the data fetch, so only the first operation of
+a batch pays the full ``aes_latency_cycles``; subsequent blocks stream
+through the pipeline at one block per ``pipeline_interval`` cycles.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ctr import CtrCipher
+from repro.util.stats import StatSet
+
+
+class CryptoEngine:
+    """A :class:`CtrCipher` wrapped with pipeline-latency accounting."""
+
+    def __init__(self, key: bytes, aes_latency_cycles: int = 32, pipeline_interval: int = 1):
+        if aes_latency_cycles < 0:
+            raise ValueError(f"AES latency must be >= 0, got {aes_latency_cycles}")
+        if pipeline_interval < 1:
+            raise ValueError(f"pipeline interval must be >= 1, got {pipeline_interval}")
+        self._cipher = CtrCipher(key)
+        self.aes_latency_cycles = aes_latency_cycles
+        self.pipeline_interval = pipeline_interval
+        self.stats = StatSet("crypto")
+
+    @property
+    def cipher(self) -> CtrCipher:
+        """The underlying cipher (for size calculations)."""
+        return self._cipher
+
+    def encrypt(self, plaintext: bytes, iv: int) -> bytes:
+        """Encrypt one unit and count it."""
+        self.stats.counter("encrypt_ops").add()
+        self.stats.counter("encrypt_bytes").add(len(plaintext))
+        return self._cipher.encrypt(plaintext, iv)
+
+    def decrypt(self, ciphertext: bytes, iv: int) -> bytes:
+        """Decrypt one unit and count it."""
+        self.stats.counter("decrypt_ops").add()
+        self.stats.counter("decrypt_bytes").add(len(ciphertext))
+        return self._cipher.decrypt(ciphertext, iv)
+
+    def batch_latency_cycles(self, num_blocks: int) -> int:
+        """Core cycles to push ``num_blocks`` through the AES pipeline.
+
+        The first block pays the full pipeline depth; each further block adds
+        one issue interval.  With fetch/pad overlap (Osiris-style), this is
+        the *additional* latency beyond the memory fetch itself.
+        """
+        if num_blocks <= 0:
+            return 0
+        return self.aes_latency_cycles + (num_blocks - 1) * self.pipeline_interval

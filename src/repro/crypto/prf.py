@@ -1,0 +1,51 @@
+"""A keyed pseudo-random function on BLAKE2b.
+
+This is the primitive everything else in :mod:`repro.crypto` builds on:
+counter-mode keystream generation and MAC tags are both PRF evaluations.
+BLAKE2b's keyed mode gives us a fast, dependency-free keyed hash from the
+standard library.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class Prf:
+    """Keyed PRF: ``bytes -> digest_size bytes``."""
+
+    def __init__(self, key: bytes, digest_size: int = 16):
+        if not key:
+            raise ValueError("PRF key must be non-empty")
+        if not 1 <= digest_size <= 64:
+            raise ValueError(f"digest size must be in [1, 64], got {digest_size}")
+        self._key = key[:64]  # BLAKE2b keyed mode allows at most 64 key bytes.
+        self._digest_size = digest_size
+
+    @property
+    def digest_size(self) -> int:
+        return self._digest_size
+
+    def evaluate(self, message: bytes) -> bytes:
+        """PRF output for ``message``."""
+        h = hashlib.blake2b(message, key=self._key, digest_size=self._digest_size)
+        return h.digest()
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        """``length`` keystream bytes derived from ``nonce`` in counter mode."""
+        if length < 0:
+            raise ValueError(f"keystream length must be >= 0, got {length}")
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            block = self.evaluate(nonce + counter.to_bytes(8, "little"))
+            out.extend(block)
+            counter += 1
+        return bytes(out[:length])
+
+    def derive(self, label: str) -> "Prf":
+        """Derive an independent PRF keyed by ``label`` (domain separation)."""
+        subkey = hashlib.blake2b(
+            label.encode("utf-8"), key=self._key, digest_size=32
+        ).digest()
+        return Prf(subkey, self._digest_size)

@@ -1,0 +1,185 @@
+"""Crash-time draining cost model (paper Section 4.2.4, Tables 1 and 2).
+
+On a power failure, whatever sits in the persistence domain must be flushed
+to NVM on residual energy.  The cost of that flush is what separates the
+designs:
+
+* **eADR-ORAM** — the whole cache hierarchy *plus* the ORAM controller's
+  stash and PosMap are in the persistence domain, and flushing the stash
+  must still run the ORAM protocol; everything drains (~193 MB with the
+  paper's 192 MB on-chip PosMap).
+* **eADR-cache** — eADR covers only the caches and the stash (no protocol
+  persistence, so not actually crash-consistent for ORAM); ~1.07 MB drains.
+* **PS-ORAM** — only the two WPQs drain: 96 entries x 64 B data + 96 x 7 B
+  PosMap entries = 6816 B (or 284 B at the 4-entry sizing).
+
+Cost constants (Table 1, from the BBB paper the authors cite):
+
+* reading a byte out of SRAM: 1 pJ/B;
+* moving a byte from L1D to NVM: 11.839 nJ/B;
+* moving a byte from L2 / stash / PosMap / WPQs to NVM: 11.228 nJ/B.
+
+Drain *time* uses the effective drain bandwidth implied by the paper's own
+Table 2 numbers (6816 B in 161.134 ns => ~42.30 GB/s), which also
+reproduces the eADR rows.  Note the paper's 4-entry energy cell (2.83 uJ)
+is inconsistent with its own 4-entry time cell (6.713 ns => 284 B); we
+compute energy from 284 B (3.19 uJ) and record the difference in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+# Table 1 constants.
+SRAM_ACCESS_PJ_PER_BYTE = 1.0
+L1D_TO_NVM_NJ_PER_BYTE = 11.839
+L2_TO_NVM_NJ_PER_BYTE = 11.228
+
+#: Effective drain bandwidth implied by Table 2 (B/ns): 6816 B / 161.134 ns.
+DRAIN_BYTES_PER_NS = 6816.0 / 161.134
+
+MB = 1024 * 1024
+
+#: PosMap WPQ entry size: the paper's 96-entry / 672 B sizing => 7 B/entry.
+POSMAP_ENTRY_BYTES = 7
+
+
+@dataclass(frozen=True)
+class DrainInventory:
+    """What a design must drain at crash time, in bytes per source."""
+
+    name: str
+    l1_bytes: int = 0
+    l2_bytes: int = 0
+    stash_bytes: int = 0
+    posmap_bytes: int = 0
+    wpq_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.l1_bytes
+            + self.l2_bytes
+            + self.stash_bytes
+            + self.posmap_bytes
+            + self.wpq_bytes
+        )
+
+
+@dataclass(frozen=True)
+class DrainEstimate:
+    """Energy (picojoules) and time (nanoseconds) to drain one inventory."""
+
+    name: str
+    total_bytes: int
+    energy_pj: float
+    time_ns: float
+
+    @property
+    def energy_uj(self) -> float:
+        return self.energy_pj / 1e6
+
+    @property
+    def time_us(self) -> float:
+        return self.time_ns / 1e3
+
+
+class DrainCostModel:
+    """Evaluates Table-2 style drain costs for an inventory."""
+
+    def estimate(self, inventory: DrainInventory) -> DrainEstimate:
+        """Energy and time to drain everything in ``inventory``."""
+        moved_l1 = inventory.l1_bytes
+        moved_rest = (
+            inventory.l2_bytes
+            + inventory.stash_bytes
+            + inventory.posmap_bytes
+            + inventory.wpq_bytes
+        )
+        energy_pj = (
+            inventory.total_bytes * SRAM_ACCESS_PJ_PER_BYTE
+            + moved_l1 * L1D_TO_NVM_NJ_PER_BYTE * 1e3
+            + moved_rest * L2_TO_NVM_NJ_PER_BYTE * 1e3
+        )
+        time_ns = inventory.total_bytes / DRAIN_BYTES_PER_NS
+        return DrainEstimate(
+            name=inventory.name,
+            total_bytes=inventory.total_bytes,
+            energy_pj=energy_pj,
+            time_ns=time_ns,
+        )
+
+
+def _paper_inventories(
+    l1d_bytes: int = 64 * 1024,
+    l2_bytes: int = 1 * MB,
+    stash_entries: int = 200,
+    block_bytes: int = 64,
+    posmap_mb: float = 192.0,
+    wpq_entries: int = 96,
+) -> Dict[str, DrainInventory]:
+    """The three Table-2 designs at the paper's Table-3 sizing."""
+    stash_bytes = stash_entries * block_bytes
+    posmap_bytes = int(posmap_mb * MB)
+    wpq_bytes = wpq_entries * block_bytes + wpq_entries * POSMAP_ENTRY_BYTES
+    return {
+        "eADR-cache": DrainInventory(
+            "eADR-cache", l1_bytes=0, l2_bytes=l1d_bytes + l2_bytes,
+            stash_bytes=stash_bytes,
+        ),
+        "eADR-ORAM": DrainInventory(
+            "eADR-ORAM", l1_bytes=l1d_bytes, l2_bytes=l2_bytes,
+            stash_bytes=stash_bytes, posmap_bytes=posmap_bytes,
+        ),
+        "PS-ORAM": DrainInventory("PS-ORAM", wpq_bytes=wpq_bytes),
+    }
+
+
+def eadr_cache_inventory(**kwargs) -> DrainInventory:
+    return _paper_inventories(**kwargs)["eADR-cache"]
+
+
+def eadr_oram_inventory(**kwargs) -> DrainInventory:
+    return _paper_inventories(**kwargs)["eADR-ORAM"]
+
+
+def ps_oram_inventory(wpq_entries: int = 96, block_bytes: int = 64) -> DrainInventory:
+    wpq_bytes = wpq_entries * block_bytes + wpq_entries * POSMAP_ENTRY_BYTES
+    return DrainInventory("PS-ORAM", wpq_bytes=wpq_bytes)
+
+
+# Canonical paper-sized estimates, evaluated once at import cost ~0.
+_MODEL = DrainCostModel()
+EADR_CACHE = _MODEL.estimate(eadr_cache_inventory())
+EADR_ORAM = _MODEL.estimate(eadr_oram_inventory())
+PS_ORAM = _MODEL.estimate(ps_oram_inventory(96))
+PS_ORAM_SMALL = _MODEL.estimate(ps_oram_inventory(4))
+
+
+def table2_rows(wpq_entries: Optional[List[int]] = None) -> List[Dict[str, object]]:
+    """Reproduce Table 2: one dict per system with energy/time/normalized.
+
+    Normalization is against the PS-ORAM sizing given first in
+    ``wpq_entries`` (paper normalizes against both 96 and 4).
+    """
+    wpq_entries = wpq_entries or [96, 4]
+    model = DrainCostModel()
+    rows: List[Dict[str, object]] = []
+    ps_estimates = {n: model.estimate(ps_oram_inventory(n)) for n in wpq_entries}
+    reference = ps_estimates[wpq_entries[0]]
+    for estimate in (EADR_CACHE, EADR_ORAM, *ps_estimates.values()):
+        rows.append(
+            {
+                "system": estimate.name
+                if estimate.name != "PS-ORAM"
+                else f"PS-ORAM (WPQ derived)",
+                "bytes": estimate.total_bytes,
+                "energy_pj": estimate.energy_pj,
+                "time_ns": estimate.time_ns,
+                "energy_vs_ps": estimate.energy_pj / reference.energy_pj,
+                "time_vs_ps": estimate.time_ns / reference.time_ns,
+            }
+        )
+    return rows

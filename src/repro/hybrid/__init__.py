@@ -1,0 +1,17 @@
+"""Hybrid DRAM + NVM memory system (paper Section 4.5).
+
+The paper reserves the hybrid organization as future work and poses its two
+questions: *how to place data across NVM and DRAM* and *how often to
+persist*.  This subpackage implements the placement the ORAM literature
+favours (tree-top replication: the hot top levels of the ORAM tree live in
+DRAM) with the persistence policy that preserves PS-ORAM's guarantees
+unchanged (write-through: every eviction write still reaches NVM through
+the WPQ rounds; DRAM only accelerates reads).
+
+See :class:`repro.hybrid.controller.HybridPSORAMController`.
+"""
+
+from repro.hybrid.controller import HybridPSORAMController
+from repro.hybrid.treetop import TreeTopRegion
+
+__all__ = ["HybridPSORAMController", "TreeTopRegion"]

@@ -1,0 +1,55 @@
+"""Tree-top placement arithmetic for the hybrid memory system.
+
+The top ``k`` levels of the ORAM tree hold ``(2**k - 1) * Z`` slots, laid
+out contiguously at the start of the tree region (level-order bucket
+numbering) — so "is this slot DRAM-resident?" is a single address compare.
+Every path access touches exactly ``k`` buckets in DRAM and ``L + 1 - k``
+in NVM, which is what makes the placement effective: the top levels are the
+hottest lines in the entire system (level 0 is touched by *every* access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oram.layout import TreeRegion
+
+
+@dataclass(frozen=True)
+class TreeTopRegion:
+    """The DRAM-resident slice of an ORAM tree."""
+
+    tree: TreeRegion
+    dram_levels: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dram_levels <= self.tree.height + 1:
+            raise ValueError(
+                f"dram_levels must be in [0, {self.tree.height + 1}], "
+                f"got {self.dram_levels}"
+            )
+
+    @property
+    def dram_buckets(self) -> int:
+        return (1 << self.dram_levels) - 1
+
+    @property
+    def dram_slots(self) -> int:
+        return self.dram_buckets * self.tree.z
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_slots * self.tree.line_bytes
+
+    @property
+    def boundary_address(self) -> int:
+        """First byte address that is *not* DRAM-resident."""
+        return self.tree.base + self.dram_bytes
+
+    def is_dram(self, address: int) -> bool:
+        """Whether a tree-slot byte address lives in DRAM."""
+        return self.tree.base <= address < self.boundary_address
+
+    def fraction_of_path(self) -> float:
+        """Share of a path's slots served from DRAM."""
+        return self.dram_levels / (self.tree.height + 1)

@@ -1,0 +1,42 @@
+"""Bank state: tracks when a bank next becomes free.
+
+A bank services one request at a time.  The model keeps a single
+``busy_until`` watermark per bank; a request arriving earlier waits, and the
+bank then stays occupied for the device's service time plus the
+command-to-command gap.
+"""
+
+from __future__ import annotations
+
+from repro.mem.device import DeviceTimingModel
+from repro.mem.request import Access
+
+
+class Bank:
+    """One NVM bank with a busy-until watermark."""
+
+    __slots__ = ("index", "_device", "busy_until", "serviced")
+
+    def __init__(self, index: int, device: DeviceTimingModel):
+        self.index = index
+        self._device = device
+        self.busy_until = 0
+        self.serviced = 0
+
+    def service(self, arrival_cycle: int, access: Access) -> int:
+        """Service a request arriving at ``arrival_cycle``.
+
+        Returns the cycle at which the request completes (data returned for a
+        read, data accepted into the array for a write).  Advances the bank's
+        busy watermark.
+        """
+        start = max(arrival_cycle, self.busy_until)
+        complete = start + self._device.service_cycles(access)
+        self.busy_until = complete + self._device.min_gap_cycles()
+        self.serviced += 1
+        return complete
+
+    def reset(self) -> None:
+        """Clear timing state (bank contents are in the backing store)."""
+        self.busy_until = 0
+        self.serviced = 0

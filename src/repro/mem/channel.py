@@ -1,0 +1,63 @@
+"""Memory channel: a command/data bus shared by several banks.
+
+Bank-level parallelism overlaps array access time, but the channel bus can
+carry only one command (and one line transfer) at a time.  We model the bus
+as a second busy-until watermark: a request first waits for the bus, then
+for its bank, and a line transfer occupies the bus for a fixed burst time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mem.bank import Bank
+from repro.mem.device import DeviceTimingModel
+from repro.mem.request import MemoryRequest
+
+
+class Channel:
+    """One channel with ``num_banks`` banks behind a shared bus."""
+
+    # Cycles the bus is held per line transfer (64B over a 8B-wide 400MHz
+    # bus in burst mode — matches NVMain's default burst of 8 beats).
+    BURST_CYCLES = 4
+
+    def __init__(self, index: int, device: DeviceTimingModel, num_banks: int = 8):
+        if num_banks < 1:
+            raise ValueError(f"need at least one bank, got {num_banks}")
+        self.index = index
+        self.device = device
+        self.banks: List[Bank] = [Bank(i, device) for i in range(num_banks)]
+        self.bus_free_at = 0
+        self.serviced = 0
+
+    def bank_for(self, local_line: int) -> Bank:
+        """Bank interleaving: channel-local line index modulo bank count."""
+        return self.banks[local_line % len(self.banks)]
+
+    def service(self, request: MemoryRequest, arrival_cycle: int, local_line: int) -> int:
+        """Service one request; returns its completion cycle.
+
+        ``local_line`` is the channel-local line index (global line divided
+        by the channel count), so consecutive lines landing on this channel
+        still stripe across all of its banks.  Commands issue on the
+        (uncontended) command bus, so banks work in parallel; only the
+        line-sized data burst serializes on the shared data bus.
+        """
+        bank = self.bank_for(local_line)
+        bank_done = bank.service(arrival_cycle, request.access)
+        # The data burst waits for both the bank and a free data bus slot.
+        burst_start = max(bank_done, self.bus_free_at)
+        self.bus_free_at = burst_start + self.BURST_CYCLES
+        self.serviced += 1
+        return burst_start + self.BURST_CYCLES
+
+    def next_free_cycle(self) -> int:
+        """Earliest cycle a new command could be issued."""
+        return self.bus_free_at
+
+    def reset(self) -> None:
+        self.bus_free_at = 0
+        self.serviced = 0
+        for bank in self.banks:
+            bank.reset()

@@ -1,0 +1,166 @@
+"""Multi-channel NVM main memory: functional store + timing model.
+
+:class:`NVMMainMemory` is both the *functional* backing store (a sparse
+byte-array image keyed by line address — the "chips") and the *timing* model
+(channels -> banks).  Keeping the two together means every functional
+operation is automatically timed and counted, so traffic figures can never
+drift from the protocol that produced them.
+
+Address-to-channel mapping is line interleaving, the standard layout for
+bandwidth-sharing ORAM systems (Wang et al., HPCA'17, as cited by the
+paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import NVMTimingConfig
+from repro.mem.channel import Channel
+from repro.mem.device import DeviceTimingModel
+from repro.mem.request import Access, MemoryRequest, RequestKind
+from repro.mem.traffic import TrafficMeter
+
+
+class NVMMainMemory:
+    """The off-chip persistent memory system."""
+
+    #: Cycles the controller front-end needs to schedule one command
+    #: (address decode, queue arbitration).  This stage is shared by all
+    #: channels and is what makes channel scaling sub-linear, as the paper
+    #: (citing Wang et al.) observes for the 2->4 channel step.  The value
+    #: is calibrated so the 1->2 channel speedup of PS-ORAM matches the
+    #: paper's 51.26% (EXPERIMENTS.md, Figure 7).
+    DISPATCH_CYCLES = 4
+
+    def __init__(
+        self,
+        timing: NVMTimingConfig,
+        channels: int = 1,
+        banks_per_channel: int = 8,
+        line_bytes: int = 64,
+        track_wear: bool = False,
+    ):
+        if channels < 1:
+            raise ValueError(f"need at least one channel, got {channels}")
+        self.device = DeviceTimingModel(timing)
+        self.line_bytes = line_bytes
+        self.channels: List[Channel] = [
+            Channel(i, self.device, banks_per_channel) for i in range(channels)
+        ]
+        self.traffic = TrafficMeter(line_bytes, track_wear=track_wear)
+        self.energy_pj = 0.0
+        self._dispatch_free_at = 0
+        # Functional image: line address -> bytes. Sparse, so a 4GB
+        # configured capacity costs nothing until written.
+        self._image: Dict[int, bytes] = {}
+
+    # -- functional store -----------------------------------------------------
+
+    def store_line(self, address: int, data: bytes) -> None:
+        """Write the functional content of one line (no timing)."""
+        self._image[address // self.line_bytes] = bytes(data)
+
+    def load_line(self, address: int) -> Optional[bytes]:
+        """Read the functional content of one line (no timing)."""
+        return self._image.get(address // self.line_bytes)
+
+    def written_lines(self, base: int, size_bytes: int) -> List[int]:
+        """Byte addresses of all written lines inside [base, base + size).
+
+        Used by crash recovery to walk a region (e.g. the persistent PosMap)
+        without scanning the full configured capacity.
+        """
+        first = base // self.line_bytes
+        last = (base + size_bytes - 1) // self.line_bytes
+        return [
+            line * self.line_bytes
+            for line in sorted(self._image)
+            if first <= line <= last
+        ]
+
+    def snapshot_image(self) -> Dict[int, bytes]:
+        """Copy of the full functional image (for crash checkpointing)."""
+        return dict(self._image)
+
+    def restore_image(self, image: Dict[int, bytes]) -> None:
+        """Replace the functional image (crash-recovery harness)."""
+        self._image = dict(image)
+
+    # -- timed access -----------------------------------------------------------
+
+    def channel_for(self, address: int) -> Channel:
+        """Line-interleaved channel mapping (line index modulo channels)."""
+        line = address // self.line_bytes
+        return self.channels[line % len(self.channels)]
+
+    def local_line(self, address: int) -> int:
+        """Channel-local line index for bank striping."""
+        return (address // self.line_bytes) // len(self.channels)
+
+    def access(
+        self,
+        address: int,
+        access: Access,
+        arrival_cycle: int,
+        kind: RequestKind = RequestKind.DATA_PATH,
+        data: Optional[bytes] = None,
+    ) -> MemoryRequest:
+        """Issue one timed line access; returns the completed request.
+
+        For writes, ``data`` (if given) updates the functional image.  For
+        reads the caller fetches content via :meth:`load_line` — the timing
+        and functional layers share the address, so there is no coherence
+        issue.
+        """
+        request = MemoryRequest(
+            address=address, access=access, kind=kind, size_bytes=self.line_bytes
+        )
+        request.issue_cycle = arrival_cycle
+        # Front-end dispatch is a shared in-order stage across channels.
+        dispatched = max(arrival_cycle, self._dispatch_free_at)
+        self._dispatch_free_at = dispatched + self.DISPATCH_CYCLES
+        line = address // self.line_bytes
+        channel = self.channels[line % len(self.channels)]
+        request.complete_cycle = channel.service(
+            request, dispatched, line // len(self.channels)
+        )
+        self.traffic.record(request)
+        self.energy_pj += self.device.energy_pj(access)
+        if access is Access.WRITE and data is not None:
+            old = self._image.get(line)
+            self.traffic.record_cell_flips(old or b"", data)
+            self.store_line(address, data)
+        return request
+
+    def access_batch(
+        self,
+        addresses: List[int],
+        access: Access,
+        arrival_cycle: int,
+        kind: RequestKind = RequestKind.DATA_PATH,
+    ) -> int:
+        """Issue a batch of same-type accesses; returns the last completion cycle.
+
+        The batch is issued back-to-back so channel/bank overlap is
+        exploited exactly as a burst path read/write would be.
+        """
+        finish = arrival_cycle
+        for address in addresses:
+            request = self.access(address, access, arrival_cycle, kind)
+            finish = max(finish, request.complete_cycle or arrival_cycle)
+        return finish
+
+    # -- maintenance ---------------------------------------------------------
+
+    def reset_timing(self) -> None:
+        """Clear timing/traffic state, keep the functional image."""
+        for channel in self.channels:
+            channel.reset()
+        self.traffic.reset()
+        self.energy_pj = 0.0
+        self._dispatch_free_at = 0
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channels)

@@ -1,0 +1,57 @@
+"""Per-technology device timing model.
+
+Wraps an :class:`~repro.config.NVMTimingConfig` and answers, in *memory*
+cycles, how long a line-sized read or write occupies a bank and when the
+data appears on the bus.  This mirrors NVMain's simplified bank model:
+
+* a read costs ``tRCD`` (activate + sense) then ``tRP`` (restore/precharge);
+* a write costs ``tCWD`` (write command to data) + ``tWP`` (write pulse)
+  + ``tWTR`` (write-to-read turnaround);
+* back-to-back column accesses to the same bank are separated by ``tCCD``.
+"""
+
+from __future__ import annotations
+
+from repro.config import NVMTimingConfig
+from repro.mem.request import Access
+
+
+class DeviceTimingModel:
+    """Latency oracle for one NVM technology."""
+
+    def __init__(self, timing: NVMTimingConfig):
+        timing.validate()
+        self.timing = timing
+
+    @property
+    def name(self) -> str:
+        return self.timing.name
+
+    def service_cycles(self, access: Access) -> int:
+        """Bank-occupancy cycles for one line access."""
+        if access is Access.READ:
+            return self.timing.read_latency_cycles
+        return self.timing.write_latency_cycles
+
+    def data_ready_cycles(self, access: Access) -> int:
+        """Cycles from command issue until read data is on the bus.
+
+        For writes this is when the bank accepts the data (the write pulse
+        continues internally but the bus is free after ``tCWD``).
+        """
+        if access is Access.READ:
+            return self.timing.t_rcd
+        return self.timing.t_cwd
+
+    def min_gap_cycles(self) -> int:
+        """Minimum gap between successive commands to the same bank."""
+        return self.timing.t_ccd
+
+    def energy_pj(self, access: Access) -> float:
+        """Per-line access energy in picojoules."""
+        if access is Access.READ:
+            return self.timing.read_energy_pj
+        return self.timing.write_energy_pj
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self.timing.cycle_ns

@@ -1,0 +1,55 @@
+"""The persistence domain: what survives a crash.
+
+Groups the WPQs that ADR protects.  On a crash the domain flushes every
+durable WPQ entry into the backing store and reports how many open-round
+entries were discarded; everything outside the domain (stash, on-chip
+PosMap, temporary PosMap) is volatile and simply vanishes.
+
+The domain also carries the eADR flag: with eADR the whole cache hierarchy
+joins the persistence domain, which PS-ORAM deliberately does *not* rely on
+(Section 4.2.3 explains why flushing the stash raw would leak the access
+pattern), but which the energy model compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.mem.wpq import WritePendingQueue
+
+
+class PersistenceDomain:
+    """A named set of WPQs with crash semantics."""
+
+    def __init__(self, eadr: bool = False):
+        self.eadr = eadr
+        self._queues: Dict[str, WritePendingQueue] = {}
+
+    def register(self, queue: WritePendingQueue) -> WritePendingQueue:
+        """Place a WPQ inside the domain."""
+        if queue.name in self._queues:
+            raise ValueError(f"WPQ {queue.name!r} already registered")
+        self._queues[queue.name] = queue
+        return queue
+
+    def queue(self, name: str) -> WritePendingQueue:
+        return self._queues[name]
+
+    def queues(self) -> List[WritePendingQueue]:
+        return list(self._queues.values())
+
+    def crash_flush(self) -> Dict[str, List[Tuple[int, object]]]:
+        """Power loss: flush durable entries of every WPQ.
+
+        Returns ``{queue_name: [(address, payload), ...]}`` of writes that
+        ADR guarantees reach the NVM.
+        """
+        return {name: q.crash() for name, q in self._queues.items()}
+
+    @property
+    def total_occupancy(self) -> int:
+        return sum(q.occupancy for q in self._queues.values())
+
+    @property
+    def total_capacity_entries(self) -> int:
+        return sum(q.capacity for q in self._queues.values())

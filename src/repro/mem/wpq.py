@@ -1,0 +1,133 @@
+"""Write-pending queues — the heart of the persistence domain.
+
+Intel ADR guarantees that writes accepted into the memory controller's WPQs
+reach the NVM even if power is lost.  PS-ORAM places *two* WPQs inside the
+ADR domain — one for evicted data blocks, one for dirty PosMap entries — and
+brackets each eviction round with a drainer-issued "start"/"end" signal pair
+so the pair of queues commits atomically (paper Section 4.1/4.2.2).
+
+The model here captures exactly that contract:
+
+* entries pushed between ``begin_round()`` and ``end_round()`` belong to an
+  *open* round;
+* on a crash, open-round entries are **discarded** (the "end" signal never
+  arrived, so ADR treats the round as not accepted) while entries of closed
+  rounds are **guaranteed durable** and are replayed to the NVM;
+* pushing past capacity raises, matching the hardware's fixed sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Tuple, TypeVar
+
+from repro.errors import PersistenceError, WPQOverflowError
+
+T = TypeVar("T")
+
+
+@dataclass
+class WPQEntry(Generic[T]):
+    """One queued write: a destination address and an opaque payload."""
+
+    address: int
+    payload: T
+    round_id: int
+
+
+class WritePendingQueue(Generic[T]):
+    """A fixed-capacity, round-bracketed persistent write queue."""
+
+    def __init__(self, name: str, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"WPQ capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._entries: List[WPQEntry[T]] = []
+        self._round_id = 0
+        self._round_open = False
+        self.pushed_total = 0
+        self.drained_total = 0
+        self.discarded_total = 0
+
+    # -- round control (driven by the drainer) -----------------------------
+
+    @property
+    def round_open(self) -> bool:
+        return self._round_open
+
+    def begin_round(self) -> int:
+        """Accept the drainer's "start" signal; returns the round id."""
+        if self._round_open:
+            raise PersistenceError(f"WPQ {self.name}: round {self._round_id} already open")
+        self._round_id += 1
+        self._round_open = True
+        return self._round_id
+
+    def end_round(self) -> None:
+        """Accept the drainer's "end" signal: the open round becomes durable."""
+        if not self._round_open:
+            raise PersistenceError(f"WPQ {self.name}: no open round to end")
+        self._round_open = False
+
+    # -- data path ----------------------------------------------------------
+
+    def push(self, address: int, payload: T) -> None:
+        """Queue one write; must be inside an open round."""
+        if not self._round_open:
+            raise PersistenceError(f"WPQ {self.name}: push outside of a round")
+        if len(self._entries) >= self.capacity:
+            raise WPQOverflowError(
+                f"WPQ {self.name}: capacity {self.capacity} exceeded"
+            )
+        self._entries.append(WPQEntry(address, payload, self._round_id))
+        self.pushed_total += 1
+
+    def drain(self) -> List[Tuple[int, T]]:
+        """Remove and return all durable (closed-round) entries in FIFO order.
+
+        Open-round entries stay queued: they are not yet guaranteed and may
+        still be discarded by a crash.
+        """
+        durable = [e for e in self._entries if not self._is_open(e)]
+        self._entries = [e for e in self._entries if self._is_open(e)]
+        self.drained_total += len(durable)
+        return [(e.address, e.payload) for e in durable]
+
+    def crash(self) -> List[Tuple[int, T]]:
+        """Simulate power loss.
+
+        Entries of the open round never got their "end" signal, so ADR does
+        not guarantee them: they are discarded.  All closed-round entries are
+        flushed by the ADR energy reserve and returned so the crash harness
+        can apply them to the NVM image.
+        """
+        survivors = [e for e in self._entries if not self._is_open(e)]
+        discarded = [e for e in self._entries if self._is_open(e)]
+        self.discarded_total += len(discarded)
+        self.drained_total += len(survivors)
+        self._entries = []
+        self._round_open = False
+        return [(e.address, e.payload) for e in survivors]
+
+    # -- introspection --------------------------------------------------------
+
+    def _is_open(self, entry: WPQEntry[T]) -> bool:
+        return self._round_open and entry.round_id == self._round_id
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"WritePendingQueue({self.name}, {self.occupancy}/{self.capacity}, "
+            f"round_open={self._round_open})"
+        )

@@ -1,0 +1,145 @@
+"""ORAM block format.
+
+Each block stores ``block_bytes`` of program data plus a header carrying:
+
+* the program (logical) address, with a reserved sentinel for dummies;
+* the path id (leaf label) the block is currently mapped to;
+* a monotonically increasing version number.
+
+Following the paper (and Fletcher et al., which it cites for the format),
+the header and the data payload are encrypted under two separate
+initialization vectors, IV1 and IV2, both stored in the clear next to the
+ciphertext — standard AES-CTR practice.
+
+The version number is an engineering addition on top of the paper's format:
+the paper disambiguates a backup (shadow) block from the live copy purely by
+path-id mismatch (footnote 1), which has a 2**-L false-match probability
+when the fresh remap draws the old leaf again.  At the paper's L = 23 this
+is negligible; at the small tree heights used for testing it is not, so the
+version field makes staleness detection exact.  DESIGN.md records this
+substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.engine import CryptoEngine
+
+#: Sentinel program address marking a dummy block (the paper's ``\bot``).
+DUMMY_ADDRESS = -1
+
+_HEADER_BYTES = 24  # address (8) + path id (8) + version (8)
+_IV_BYTES = 8
+
+
+@dataclass
+class Block:
+    """One plaintext ORAM block (header + payload)."""
+
+    address: int
+    path_id: int
+    data: bytes
+    version: int = 0
+
+    @property
+    def is_dummy(self) -> bool:
+        return self.address == DUMMY_ADDRESS
+
+    @staticmethod
+    def dummy(block_bytes: int, path_id: int = 0) -> "Block":
+        """A dummy block (zero payload, sentinel address)."""
+        return Block(address=DUMMY_ADDRESS, path_id=path_id, data=bytes(block_bytes))
+
+    def copy(self) -> "Block":
+        """Deep copy (payload bytes are immutable, so a field copy suffices)."""
+        return Block(self.address, self.path_id, self.data, self.version)
+
+    def __post_init__(self) -> None:
+        if self.address < DUMMY_ADDRESS:
+            raise ValueError(f"invalid block address {self.address}")
+        if self.path_id < 0:
+            raise ValueError(f"invalid path id {self.path_id}")
+
+
+class BlockCodec:
+    """Encrypts/decrypts blocks to/from their stored wire format.
+
+    Wire format::
+
+        iv1 (8B clear) || iv2 (8B clear) || Enc[iv1](header) || Enc[iv2](data)
+
+    IVs are drawn from a single monotonic counter owned by the codec, so no
+    (key, IV) pair is ever reused — fresh randomness for every re-encryption
+    is what makes repeated path writebacks indistinguishable.
+    """
+
+    def __init__(self, engine: CryptoEngine, block_bytes: int):
+        if block_bytes <= 0:
+            raise ValueError(f"block size must be positive, got {block_bytes}")
+        self._engine = engine
+        self.block_bytes = block_bytes
+        self._iv_counter = 1
+
+    @property
+    def wire_bytes(self) -> int:
+        """Stored size of one encrypted block."""
+        mac = self._engine.cipher.MAC_BYTES
+        return 2 * _IV_BYTES + (_HEADER_BYTES + mac) + (self.block_bytes + mac)
+
+    def _next_iv(self) -> int:
+        iv = self._iv_counter
+        self._iv_counter += 1
+        return iv
+
+    def encode(self, block: Block) -> bytes:
+        """Encrypt a block into its wire format with fresh IVs."""
+        if len(block.data) != self.block_bytes:
+            raise ValueError(
+                f"payload is {len(block.data)} bytes, expected {self.block_bytes}"
+            )
+        iv1 = self._next_iv()
+        iv2 = self._next_iv()
+        header = (
+            block.address.to_bytes(8, "little", signed=True)
+            + block.path_id.to_bytes(8, "little", signed=False)
+            + block.version.to_bytes(8, "little", signed=False)
+        )
+        enc_header = self._engine.encrypt(header, iv1)
+        enc_data = self._engine.encrypt(block.data, iv2)
+        return (
+            iv1.to_bytes(_IV_BYTES, "little")
+            + iv2.to_bytes(_IV_BYTES, "little")
+            + enc_header
+            + enc_data
+        )
+
+    def decode(self, wire: bytes) -> Block:
+        """Decrypt a wire-format block."""
+        if len(wire) != self.wire_bytes:
+            raise ValueError(f"wire block is {len(wire)} bytes, expected {self.wire_bytes}")
+        mac = self._engine.cipher.MAC_BYTES
+        iv1 = int.from_bytes(wire[:_IV_BYTES], "little")
+        iv2 = int.from_bytes(wire[_IV_BYTES : 2 * _IV_BYTES], "little")
+        header_end = 2 * _IV_BYTES + _HEADER_BYTES + mac
+        header = self._engine.decrypt(wire[2 * _IV_BYTES : header_end], iv1)
+        data = self._engine.decrypt(wire[header_end:], iv2)
+        address = int.from_bytes(header[0:8], "little", signed=True)
+        path_id = int.from_bytes(header[8:16], "little", signed=False)
+        version = int.from_bytes(header[16:24], "little", signed=False)
+        return Block(address=address, path_id=path_id, data=data, version=version)
+
+    def decode_header(self, wire: bytes) -> Block:
+        """Decrypt only the header (payload left zeroed).
+
+        Models the controller peeking at headers to find the block of
+        interest before the full payload decrypt; also used by recovery.
+        """
+        mac = self._engine.cipher.MAC_BYTES
+        iv1 = int.from_bytes(wire[:_IV_BYTES], "little")
+        header_end = 2 * _IV_BYTES + _HEADER_BYTES + mac
+        header = self._engine.decrypt(wire[2 * _IV_BYTES : header_end], iv1)
+        address = int.from_bytes(header[0:8], "little", signed=True)
+        path_id = int.from_bytes(header[8:16], "little", signed=False)
+        version = int.from_bytes(header[16:24], "little", signed=False)
+        return Block(address=address, path_id=path_id, data=bytes(self.block_bytes), version=version)

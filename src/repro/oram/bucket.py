@@ -1,0 +1,42 @@
+"""A bucket: Z block slots at one tree node."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.oram.block import Block
+
+
+class Bucket:
+    """Fixed-capacity container of Z blocks (dummies fill unused slots)."""
+
+    __slots__ = ("z", "blocks")
+
+    def __init__(self, z: int, blocks: List[Block]):
+        if len(blocks) != z:
+            raise ValueError(f"bucket must hold exactly {z} blocks, got {len(blocks)}")
+        self.z = z
+        self.blocks = blocks
+
+    @staticmethod
+    def empty(z: int, block_bytes: int) -> "Bucket":
+        """A bucket of Z dummy blocks."""
+        return Bucket(z, [Block.dummy(block_bytes) for _ in range(z)])
+
+    def real_blocks(self) -> List[Block]:
+        """The non-dummy blocks in this bucket."""
+        return [b for b in self.blocks if not b.is_dummy]
+
+    @property
+    def real_count(self) -> int:
+        return sum(1 for b in self.blocks if not b.is_dummy)
+
+    @property
+    def free_slots(self) -> int:
+        return self.z - self.real_count
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __repr__(self) -> str:
+        return f"Bucket(z={self.z}, real={self.real_count})"

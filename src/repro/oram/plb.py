@@ -1,0 +1,98 @@
+"""PosMap Lookaside Buffer (PLB) — the Freecursive optimization.
+
+Recursive ORAM pays one posmap-tree path access per data access.  The PLB
+(Fletcher et al., ASPLOS'15 — the paper's reference [19]) caches recently
+used *posmap blocks* on-chip: a hit answers the position lookup without
+touching the posmap tree at all, and entry updates accumulate in the cached
+block until it is evicted, when one write-back access flushes them.
+
+The PLB is volatile.  That is fine for Rcr-Baseline (already not
+crash-consistent) and is why the crash-consistent Rcr-PS-ORAM runs with the
+PLB disabled by default — a dirty PLB block lost in a crash would silently
+drop committed-looking remaps.  Making a PLB crash-safe needs the same
+WPQ treatment as the stash; we keep the interaction explicit rather than
+pretending it is free (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.util.stats import StatSet
+
+
+class PosMapLookasideBuffer:
+    """Fully-associative LRU cache of posmap-block payloads."""
+
+    def __init__(self, capacity_blocks: int):
+        if capacity_blocks < 1:
+            raise ValueError(
+                f"PLB capacity must be >= 1 block, got {capacity_blocks}"
+            )
+        self.capacity = capacity_blocks
+        self._blocks: "OrderedDict[int, bytes]" = OrderedDict()
+        self._dirty: dict = {}
+        self.stats = StatSet("plb")
+
+    def lookup(self, block_index: int) -> Optional[bytes]:
+        """Payload of a cached posmap block, refreshing LRU order."""
+        payload = self._blocks.get(block_index)
+        if payload is None:
+            self.stats.counter("misses").add()
+            return None
+        self._blocks.move_to_end(block_index)
+        self.stats.counter("hits").add()
+        return payload
+
+    def install(
+        self, block_index: int, payload: bytes, dirty: bool = False
+    ) -> Optional[Tuple[int, bytes]]:
+        """Cache a block; returns an evicted *dirty* victim (or None).
+
+        Clean victims vanish silently (the tree already has their content).
+        """
+        victim = None
+        if block_index not in self._blocks and len(self._blocks) >= self.capacity:
+            victim_index, victim_payload = self._blocks.popitem(last=False)
+            if self._dirty.pop(victim_index, False):
+                victim = (victim_index, victim_payload)
+                self.stats.counter("dirty_evictions").add()
+            else:
+                self.stats.counter("clean_evictions").add()
+        self._blocks[block_index] = payload
+        self._blocks.move_to_end(block_index)
+        if dirty:
+            self._dirty[block_index] = True
+        return victim
+
+    def update(self, block_index: int, payload: bytes) -> None:
+        """Overwrite a cached block's payload and mark it dirty."""
+        if block_index not in self._blocks:
+            raise KeyError(f"posmap block {block_index} not cached")
+        self._blocks[block_index] = payload
+        self._blocks.move_to_end(block_index)
+        self._dirty[block_index] = True
+
+    def dirty_blocks(self):
+        """All dirty (block_index, payload) pairs, LRU-first."""
+        return [
+            (index, self._blocks[index])
+            for index in self._blocks
+            if self._dirty.get(index, False)
+        ]
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.stats.get("hits")
+        total = hits + self.stats.get("misses")
+        return hits / total if total else 0.0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._blocks)
+
+    def clear(self) -> None:
+        """Volatile loss (crash)."""
+        self._blocks.clear()
+        self._dirty.clear()

@@ -1,0 +1,146 @@
+"""Position map: logical address -> path id.
+
+Two views exist:
+
+* :class:`PositionMap` — the on-chip table the controller consults.  In the
+  baseline it is SRAM and volatile; in the FullNVM variants it is built from
+  on-chip NVM cells (slow but persistent); PS-ORAM keeps it volatile and
+  persists only dirty entries into the NVM copy.
+* :class:`PersistentPosMapImage` — the persistent NVM-resident copy used by
+  crash recovery (functional access to the PosMap region of the layout).
+
+Entries are initialized from a deterministic PRF of the address so the
+initial mapping needs no storage and recovery can recompute it — the same
+trick hardware controllers use to avoid a multi-hour initialization scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.crypto.prf import Prf
+from repro.errors import InvalidAddressError
+from repro.mem.controller import NVMMainMemory
+from repro.oram.layout import PosMapRegion
+
+
+class PositionMap:
+    """On-chip position map with dirty tracking.
+
+    Stores only entries that differ from the deterministic initial mapping,
+    so small test configs and the 4GB paper config cost the same.
+    """
+
+    def __init__(self, num_entries: int, num_leaves: int, seed_key: bytes):
+        if num_entries <= 0:
+            raise ValueError(f"need at least one entry, got {num_entries}")
+        if num_leaves <= 0:
+            raise ValueError(f"need at least one leaf, got {num_leaves}")
+        self.num_entries = num_entries
+        self.num_leaves = num_leaves
+        self._prf = Prf(seed_key, digest_size=8).derive("posmap-init")
+        self._entries: Dict[int, int] = {}
+
+    def initial_path(self, address: int) -> int:
+        """The deterministic initial path id for ``address``."""
+        digest = self._prf.evaluate(address.to_bytes(8, "little", signed=False))
+        return int.from_bytes(digest, "little") % self.num_leaves
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.num_entries:
+            raise InvalidAddressError(
+                f"address {address} outside position map [0, {self.num_entries})"
+            )
+
+    def get(self, address: int) -> int:
+        """Current path id for ``address``."""
+        self._check(address)
+        value = self._entries.get(address)
+        return value if value is not None else self.initial_path(address)
+
+    def set(self, address: int, path_id: int) -> None:
+        """Overwrite the path id for ``address``."""
+        self._check(address)
+        if not 0 <= path_id < self.num_leaves:
+            raise ValueError(f"path id {path_id} out of range [0, {self.num_leaves})")
+        self._entries[address] = path_id
+
+    def modified_entries(self) -> Iterator[Tuple[int, int]]:
+        """All entries that differ from the initial mapping."""
+        return iter(self._entries.items())
+
+    def clear(self) -> None:
+        """Forget every update (volatile loss on crash)."""
+        self._entries.clear()
+
+    def copy_state(self) -> Dict[int, int]:
+        return dict(self._entries)
+
+    def load_state(self, state: Dict[int, int]) -> None:
+        self._entries = dict(state)
+
+    def __len__(self) -> int:
+        return self.num_entries
+
+
+class PersistentPosMapImage:
+    """Functional access to the NVM-resident PosMap region.
+
+    Entries are stored per-line in the functional image; within a line,
+    entries are packed as 8-byte little-endian path ids.  A line that was
+    never written reads as "initial mapping" for all its entries.
+    """
+
+    ENTRY_BYTES = 8
+
+    def __init__(self, region: PosMapRegion, memory: NVMMainMemory, posmap: PositionMap):
+        self.region = region
+        self.memory = memory
+        self._reference = posmap  # for initial_path / num_leaves
+
+    def read_entry(self, address: int) -> int:
+        """Persistent path id for ``address`` (functional, untimed)."""
+        line_addr = self.region.entry_address(address)
+        line = self.memory.load_line(line_addr)
+        if line is None:
+            return self._reference.initial_path(address)
+        offset = (address % self.region.entries_per_line) * self.ENTRY_BYTES
+        chunk = line[offset : offset + self.ENTRY_BYTES]
+        if len(chunk) < self.ENTRY_BYTES or chunk == b"\xff" * self.ENTRY_BYTES:
+            return self._reference.initial_path(address)
+        return int.from_bytes(chunk, "little")
+
+    def iter_written_entries(self):
+        """Yield ``(address, path_id)`` for every explicitly persisted entry.
+
+        Recovery uses this to rebuild the on-chip PosMap mirror; entries
+        still at the deterministic initial mapping are never stored, so they
+        need no rebuilding.
+        """
+        for line_addr in self.memory.written_lines(self.region.base, self.region.size_bytes):
+            line = self.memory.load_line(line_addr)
+            if line is None:
+                continue
+            base_entry = (
+                (line_addr - self.region.base) // self.region.line_bytes
+            ) * self.region.entries_per_line
+            for slot in range(self.region.entries_per_line):
+                address = base_entry + slot
+                if address >= self.region.num_entries:
+                    break
+                chunk = line[slot * self.ENTRY_BYTES : (slot + 1) * self.ENTRY_BYTES]
+                if len(chunk) < self.ENTRY_BYTES or chunk == b"\xff" * self.ENTRY_BYTES:
+                    continue
+                yield address, int.from_bytes(chunk, "little")
+
+    def write_entry(self, address: int, path_id: int) -> int:
+        """Persist one entry (functional); returns the line address written."""
+        line_addr = self.region.entry_address(address)
+        line = self.memory.load_line(line_addr)
+        if line is None:
+            line = b"\xff" * (self.region.entries_per_line * self.ENTRY_BYTES)
+        buf = bytearray(line)
+        offset = (address % self.region.entries_per_line) * self.ENTRY_BYTES
+        buf[offset : offset + self.ENTRY_BYTES] = path_id.to_bytes(self.ENTRY_BYTES, "little")
+        self.memory.store_line(line_addr, bytes(buf))
+        return line_addr

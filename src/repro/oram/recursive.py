@@ -1,0 +1,327 @@
+"""Recursive PosMap ORAM (paper Section 4.4, following Freecursive as cited).
+
+When no trusted memory region exists, the PosMap cannot live in a flat NVM
+table — updating entry ``a`` in place would reveal which logical block was
+touched.  Instead the PosMap itself is stored as a (smaller) ORAM tree in
+untrusted NVM: ``posmap_entries_per_block`` path ids are packed into each
+posmap block, and looking up / updating one entry is a normal ORAM access
+on the *posmap tree*.  The posmap tree's own position map (much smaller) is
+kept on-chip.
+
+We model one level of recursion.  With the paper's parameters (L = 23,
+Z = 4, 8 entries/block) the posmap tree has height 20, so a posmap access
+adds ``4 * 21 = 84`` slot reads + writes on top of the data path's 96 —
+matching the ~90% read-traffic increase Figure 6(a) reports for the
+recursive schemes.  Deeper recursion shrinks the on-chip residue at the
+cost of more traffic; it changes constants, not protocol structure
+(DESIGN.md records this substitution).
+
+:class:`RecursivePathORAM` is the paper's **Rcr-Baseline**: every access
+performs the posmap-tree access (so PosMap updates are written back to NVM
+in tree organization every time) but the stash is volatile and the
+data/metadata writebacks are not atomic — it is persistent but *not*
+crash-consistent.  The crash-consistent Rcr-PS-ORAM lives in
+:mod:`repro.core.recursive_ps`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.config import ORAMConfig, SystemConfig
+from repro.errors import ConfigError
+from repro.mem.controller import NVMMainMemory
+from repro.mem.request import RequestKind
+from repro.oram.controller import PathORAMController
+from repro.oram.layout import MemoryLayout, PosMapRegion
+from repro.oram.plb import PosMapLookasideBuffer
+
+
+ENTRY_BYTES = 8
+
+
+def pack_entry(payload: bytes, slot: int, path_id: int) -> bytes:
+    """Write one packed path-id entry into a posmap-block payload."""
+    buf = bytearray(payload)
+    buf[slot * ENTRY_BYTES : (slot + 1) * ENTRY_BYTES] = path_id.to_bytes(
+        ENTRY_BYTES, "little"
+    )
+    return bytes(buf)
+
+
+def unpack_entry(payload: bytes, slot: int) -> int:
+    """Read one packed path-id entry from a posmap-block payload."""
+    return int.from_bytes(payload[slot * ENTRY_BYTES : (slot + 1) * ENTRY_BYTES], "little")
+
+
+def make_posmap_oram_config(base: ORAMConfig, height: int) -> ORAMConfig:
+    """Derive the mini-ORAM config for a posmap tree of the given height."""
+    stash = max(base.stash_capacity, 2 * base.z * (height + 1))
+    return dataclasses.replace(
+        base, height=height, recursion_levels=0, stash_capacity=stash
+    )
+
+
+class PosMapORAM:
+    """The posmap tree: a mini Path ORAM storing packed path-id entries.
+
+    Wraps a controller (baseline or PS-ORAM flavoured, injected by the
+    caller) and exposes entry-level lookup/update.  Uninitialized entries
+    decode as the deterministic initial mapping of the *data* ORAM, courtesy
+    of an injected ``initial_path`` function — so no initialization pass is
+    needed.
+    """
+
+    SENTINEL = (1 << 64) - 1  # "entry never written" marker inside a block
+
+    def __init__(self, controller: PathORAMController, entries_per_block: int, initial_path):
+        if entries_per_block * ENTRY_BYTES > controller.oram_config.block_bytes:
+            raise ValueError(
+                f"{entries_per_block} entries of {ENTRY_BYTES}B do not fit a "
+                f"{controller.oram_config.block_bytes}B block"
+            )
+        self.controller = controller
+        self.entries_per_block = entries_per_block
+        self._initial_path = initial_path
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        return address // self.entries_per_block, address % self.entries_per_block
+
+    def _decode(self, payload: bytes, slot: int, address: int) -> int:
+        raw = unpack_entry(payload, slot)
+        # A zero payload means the posmap block was never written; a
+        # sentinel means this particular entry was never written.
+        if raw == 0 or raw == self.SENTINEL:
+            return self._initial_path(address)
+        return raw - 1  # stored with +1 bias so 0 can mean "unwritten"
+
+    def lookup_update(self, address: int, new_path: int) -> int:
+        """One timed posmap-tree access: read entry, write ``new_path``.
+
+        Returns the previous path id for ``address``.
+        """
+        block_idx, slot = self._locate(address)
+        result = self.controller.read_modify_write(
+            block_idx, lambda old: pack_entry(old, slot, new_path + 1)
+        )
+        return self._decode(result.data, slot, address)
+
+    def lookup(self, address: int) -> int:
+        """One timed posmap-tree access that only reads the entry."""
+        block_idx, slot = self._locate(address)
+        result = self.controller.access(block_idx, is_write=False)
+        return self._decode(result.data, slot, address)
+
+    def update(self, address: int, new_path: int) -> None:
+        """One timed posmap-tree access that only writes the entry."""
+        self.lookup_update(address, new_path)
+
+    @property
+    def now(self) -> int:
+        return self.controller.now
+
+    @now.setter
+    def now(self, value: int) -> None:
+        self.controller.now = value
+
+
+class _ChainedPosMapController(PathORAMController):
+    """A posmap-tree controller whose *own* PosMap lives one level deeper.
+
+    Used for the inner levels of a multi-level recursion: level-``i``'s
+    position lookups route through level-``i+1``'s tree (``next_posmap``),
+    exactly as the data tree routes through level 1.  The deepest level has
+    ``next_posmap is None`` — its PosMap is the on-chip root.
+    """
+
+    next_posmap: Optional["PosMapORAM"] = None
+
+    def _remap(self, address: int) -> Tuple[int, int]:
+        old_path = self._position_of(address)
+        new_path = self.rng.randrange(self.posmap.num_leaves)
+        self.posmap.set(address, new_path)
+        if self.next_posmap is not None:
+            self.next_posmap.now = self.now
+            self.next_posmap.lookup_update(address, new_path)
+            self.now = self.next_posmap.now
+        return old_path, new_path
+
+    def crash(self) -> None:
+        super().crash()
+        if self.next_posmap is not None:
+            self.next_posmap.controller.crash()
+
+
+class RecursivePathORAM(PathORAMController):
+    """Rcr-Baseline: Path ORAM with a recursive PosMap in untrusted NVM.
+
+    ``recursion_levels`` chains posmap trees Freecursive-style: level 1
+    stores the data tree's entries, level 2 stores level 1's, and so on;
+    only the deepest level's (small) PosMap stays on-chip.  The inherited
+    ``self.posmap`` dict remains the *architectural* view the controller
+    trusts for staleness checks; the posmap trees provide the timed,
+    persistent storage.  On a crash the architectural view is lost with
+    everything else on chip; Rcr-Baseline cannot rebuild a consistent
+    state because the posmap-tree stashes and root posmap were volatile.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        memory: Optional[NVMMainMemory] = None,
+        key: bytes = b"repro-psoram-key",
+    ):
+        if config.oram.recursion_levels < 1:
+            config = config.replace(
+                oram=dataclasses.replace(config.oram, recursion_levels=1)
+            )
+        layout = MemoryLayout(config.oram, line_bytes=config.oram.block_bytes)
+        super().__init__(
+            config,
+            memory=memory,
+            key=key,
+            data_region=layout.data_tree,
+            posmap_region=layout.posmap,
+            name="data-oram",
+        )
+        self.layout = layout
+        self.posmap_oram = self._build_posmap_chain(config, key)
+        self.plb = (
+            PosMapLookasideBuffer(config.oram.plb_blocks)
+            if config.oram.plb_blocks > 0 and self._plb_allowed()
+            else None
+        )
+
+    def _build_posmap_chain(self, config: SystemConfig, key: bytes) -> "PosMapORAM":
+        """Construct the posmap trees, deepest level first, and chain them."""
+        line = config.oram.block_bytes
+        levels = []
+        for depth, pm_region in enumerate(self.layout.recursive_trees):
+            pm_config = make_posmap_oram_config(config.oram, pm_region.height)
+            # Flat drain region after each tree (used by the PS variants'
+            # WPQ machinery; inert for the baseline).
+            root_posmap_region = PosMapRegion(
+                base=pm_region.base + pm_region.size_bytes,
+                num_entries=pm_config.num_logical_blocks,
+                line_bytes=line,
+            )
+            if depth == 0:
+                controller = self._make_posmap_controller(
+                    config, pm_config, pm_region, root_posmap_region, key
+                )
+            else:
+                controller = _ChainedPosMapController(
+                    config,
+                    memory=self.memory,
+                    key=key,
+                    oram_config=pm_config,
+                    data_region=pm_region,
+                    posmap_region=root_posmap_region,
+                    request_kind=RequestKind.POSMAP,
+                    name=f"posmap-oram-{depth}",
+                )
+            levels.append(controller)
+        # Chain: level i's own posmap lookups go through level i+1's tree.
+        for depth in range(len(levels) - 1):
+            shallower = levels[depth]
+            deeper = levels[depth + 1]
+            if not isinstance(shallower, _ChainedPosMapController):
+                raise ConfigError(
+                    "recursion_levels > 1 requires a chain-capable posmap "
+                    f"controller at level {depth}; "
+                    f"{type(shallower).__name__} is not (the crash-"
+                    "consistent recursive design supports one level)"
+                )
+            shallower.next_posmap = PosMapORAM(
+                deeper,
+                self.config.oram.posmap_entries_per_block,
+                shallower.posmap.initial_path,
+            )
+        return PosMapORAM(
+            levels[0],
+            config.oram.posmap_entries_per_block,
+            self.posmap.initial_path,
+        )
+
+    def _plb_allowed(self) -> bool:
+        """Whether this variant may use the (volatile) PLB.
+
+        Rcr-Baseline may; crash-consistent subclasses override to refuse —
+        a dirty PLB block lost in a crash would drop committed remaps.
+        """
+        return True
+
+    def _make_posmap_controller(
+        self, config, pm_config, pm_region, root_posmap_region, key
+    ) -> PathORAMController:
+        """Build the level-1 posmap-tree controller (hook for Rcr-PS).
+
+        The baseline uses the chain-capable class so deeper recursion
+        levels can be attached; with one level ``next_posmap`` stays None
+        and it behaves exactly like a plain controller.
+        """
+        return _ChainedPosMapController(
+            config,
+            memory=self.memory,
+            key=key,
+            oram_config=pm_config,
+            data_region=pm_region,
+            posmap_region=root_posmap_region,
+            request_kind=RequestKind.POSMAP,
+            name="posmap-oram",
+        )
+
+    # -- step 2 override ---------------------------------------------------
+
+    def _remap(self, address: int) -> Tuple[int, int]:
+        """Timed recursive PosMap lookup + update.
+
+        The posmap-tree access (or PLB hit) and the architectural update
+        happen together; the mini controller's clock is slaved to ours
+        around the call.
+        """
+        old_path = self._position_of(address)
+        new_path = self.rng.randrange(self.posmap.num_leaves)
+        self.posmap.set(address, new_path)
+        self.posmap_oram.now = self.now
+        stored_old = self._posmap_lookup_update(address, new_path)
+        self.now = self.posmap_oram.now
+        # The architectural view and the tree-stored view must agree; they
+        # can only diverge after a crash, which recovery reconciles.
+        if stored_old != old_path:
+            self.stats.counter("posmap_divergence").add()
+        return old_path, new_path
+
+    def _posmap_lookup_update(self, address: int, new_path: int) -> int:
+        """Read + update one PosMap entry, through the PLB when enabled."""
+        if self.plb is None:
+            return self.posmap_oram.lookup_update(address, new_path)
+        pm = self.posmap_oram
+        block_idx = address // pm.entries_per_block
+        slot = address % pm.entries_per_block
+        payload = self.plb.lookup(block_idx)
+        if payload is None:
+            # One posmap-tree read access fetches the block; the update
+            # then lives in the PLB until eviction writes it back.
+            result = pm.controller.access(block_idx, is_write=False)
+            payload = result.data
+            victim = self.plb.install(block_idx, payload)
+            if victim is not None:
+                victim_idx, victim_payload = victim
+                pm.controller.access(
+                    victim_idx, is_write=True, data=victim_payload
+                )
+                self.stats.counter("plb_writebacks").add()
+        old = pm._decode(payload, slot, address)
+        self.plb.update(block_idx, pack_entry(payload, slot, new_path + 1))
+        return old
+
+    # -- crash semantics -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Both the data ORAM's and the posmap tree's volatile state is lost."""
+        super().crash()
+        self.posmap_oram.controller.crash()
+        if self.plb is not None:
+            self.plb.clear()

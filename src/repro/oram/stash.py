@@ -1,0 +1,122 @@
+"""The on-chip stash.
+
+A small buffer holding blocks between path reads and evictions.  Entries
+track dirtiness (program wrote the block) and whether they are PS-ORAM
+backup (shadow) copies.  Lookup by address always returns the live (non-
+backup) entry; capacity accounting covers everything, so backup blocks
+cannot silently inflate occupancy past the configured bound (paper Claim 2
+argues occupancy is unchanged because the backup leaves with the very next
+eviction — the accounting here is what lets tests verify that claim).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import StashOverflowError
+from repro.oram.block import Block
+from repro.util.stats import StatSet
+
+
+class StashEntry:
+    """One stash slot: a block plus controller-side state bits.
+
+    ``fetch_round`` records the access round that brought the entry in; the
+    eviction planner uses it to give blocks read from the *current* path
+    placement priority, which is what guarantees no just-read block's only
+    durable copy is overwritten while the block itself misses the write-back
+    (the Figure-3 hazard).
+    """
+
+    __slots__ = ("block", "dirty", "is_backup", "fetch_round", "source_line")
+
+    def __init__(
+        self,
+        block: Block,
+        dirty: bool = False,
+        is_backup: bool = False,
+        fetch_round: int = -1,
+        source_line: Optional[int] = None,
+    ):
+        self.block = block
+        self.dirty = dirty
+        self.is_backup = is_backup
+        self.fetch_round = fetch_round
+        # NVM line the block was fetched from this round (None when the
+        # block was materialized or carried over from an earlier round);
+        # the limited-WPQ ordered eviction needs it to avoid overwriting a
+        # block's only durable copy before its new copy commits.
+        self.source_line = source_line
+
+    def __repr__(self) -> str:
+        flags = "".join(c for c, on in (("D", self.dirty), ("B", self.is_backup)) if on)
+        return f"StashEntry(addr={self.block.address}, path={self.block.path_id}, {flags})"
+
+
+class Stash:
+    """Bounded stash with address index and occupancy statistics."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"stash capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: List[StashEntry] = []
+        self._by_address: Dict[int, StashEntry] = {}  # live entries only
+        self.stats = StatSet("stash")
+
+    # -- insertion/removal ---------------------------------------------------
+
+    def add(self, entry: StashEntry) -> None:
+        """Insert an entry, enforcing capacity and live-address uniqueness."""
+        if len(self._entries) >= self.capacity:
+            raise StashOverflowError(
+                f"stash overflow: capacity {self.capacity} reached"
+            )
+        if not entry.is_backup:
+            if entry.block.address in self._by_address:
+                raise ValueError(
+                    f"live block {entry.block.address} already in stash"
+                )
+            self._by_address[entry.block.address] = entry
+        self._entries.append(entry)
+        self.stats.histogram("occupancy").record(len(self._entries))
+
+    def remove(self, entry: StashEntry) -> None:
+        """Remove a specific entry."""
+        self._entries.remove(entry)
+        if not entry.is_backup and self._by_address.get(entry.block.address) is entry:
+            del self._by_address[entry.block.address]
+
+    # -- lookup ----------------------------------------------------------------
+
+    def find(self, address: int) -> Optional[StashEntry]:
+        """The live entry for ``address``, or None."""
+        return self._by_address.get(address)
+
+    def entries(self) -> List[StashEntry]:
+        """Snapshot list of all entries (live + backup)."""
+        return list(self._entries)
+
+    def backup_entries(self) -> List[StashEntry]:
+        return [e for e in self._entries if e.is_backup]
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def clear(self) -> None:
+        """Volatile loss (crash) or reinitialization."""
+        self._entries.clear()
+        self._by_address.clear()
+
+    def __iter__(self) -> Iterator[StashEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

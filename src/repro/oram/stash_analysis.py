@@ -1,0 +1,120 @@
+"""Stash occupancy analysis (the paper's Table-3 sizing assumption).
+
+The paper sizes the stash at 200 entries and the tree at 50% utilization
+"to minimize the possibility of stash overflow", citing Ren et al.'s
+design-space exploration, which bounds the overflow probability as an
+exponential in the stash size: ``P(occupancy > R) < c * rho^R`` with
+``rho < 1`` for Z >= 4 at 50% utilization.
+
+This module profiles a live controller and fits that exponential tail, so
+the reproduction can check its own stash behaviour against the theory the
+paper leans on: the occupancy histogram should have an exponentially
+decaying tail, and extrapolating it to the configured capacity should give
+a vanishing overflow probability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.util.rng import DeterministicRNG
+
+
+@dataclass
+class StashProfile:
+    """Occupancy statistics from one profiling run."""
+
+    samples: int
+    mean: float
+    peak: int
+    capacity: int
+    histogram: Dict[int, int]
+    tail_decay: Optional[float]  # fitted rho; None if tail too short to fit
+
+    @property
+    def headroom(self) -> float:
+        """Fraction of the stash never used at peak."""
+        return 1.0 - self.peak / self.capacity
+
+    def overflow_probability_estimate(self) -> float:
+        """Extrapolated P(occupancy > capacity) from the fitted tail.
+
+        Returns 1.0 (pessimistic) when no tail could be fitted.
+        """
+        if self.tail_decay is None or not 0 < self.tail_decay < 1:
+            return 1.0
+        # P(occ > R) ~ C * rho^R anchored at the peak's empirical mass.
+        peak_mass = self.histogram.get(self.peak, 1) / max(self.samples, 1)
+        extra = self.capacity - self.peak
+        return min(1.0, peak_mass * (self.tail_decay ** extra))
+
+
+def profile_stash(
+    controller,
+    accesses: int = 500,
+    working_set: Optional[int] = None,
+    seed: int = 31,
+    op: Optional[Callable] = None,
+) -> StashProfile:
+    """Drive ``controller`` with uniform writes and profile stash occupancy.
+
+    ``op(controller, rng, i)`` can replace the default uniform-write
+    workload.  Occupancy is sampled after every access (post-eviction, the
+    steady-state measure Ren et al. analyze).
+    """
+    rng = DeterministicRNG(seed)
+    span = working_set or max(1, controller.oram_config.num_logical_blocks // 2)
+    histogram: Dict[int, int] = {}
+    peak = 0
+    total = 0
+    for i in range(accesses):
+        if op is not None:
+            op(controller, rng, i)
+        else:
+            controller.write(rng.randrange(span), bytes([i % 256]))
+        occupancy = controller.stash.occupancy
+        histogram[occupancy] = histogram.get(occupancy, 0) + 1
+        peak = max(peak, occupancy)
+        total += occupancy
+    return StashProfile(
+        samples=accesses,
+        mean=total / accesses if accesses else 0.0,
+        peak=peak,
+        capacity=controller.stash.capacity,
+        histogram=histogram,
+        tail_decay=_fit_tail(histogram),
+    )
+
+
+def _fit_tail(histogram: Dict[int, int]) -> Optional[float]:
+    """Least-squares fit of log P(occ >= k) against k over the upper tail.
+
+    Returns the geometric decay factor rho, or None if fewer than three
+    distinct tail points exist.
+    """
+    if not histogram:
+        return None
+    total = sum(histogram.values())
+    max_occ = max(histogram)
+    # Survival function P(occ >= k) for k in the upper half of the range.
+    points: List[tuple] = []
+    cumulative = 0
+    for k in range(max_occ, -1, -1):
+        cumulative += histogram.get(k, 0)
+        if k >= max(1, max_occ // 2):
+            points.append((k, cumulative / total))
+    points = [(k, p) for k, p in points if p > 0]
+    if len(points) < 3:
+        return None
+    xs = [k for k, _ in points]
+    ys = [math.log(p) for _, p in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        return None
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / var_x
+    return math.exp(slope)

@@ -1,0 +1,158 @@
+"""The NVM-resident ORAM tree.
+
+Couples a :class:`TreeRegion` of the address map with the NVM main memory
+and a :class:`BlockCodec`: reading a bucket issues Z timed line reads and
+decrypts the blobs; writing re-encrypts with fresh IVs and issues Z timed
+line writes.  Unwritten slots decode as dummy blocks, so the 4GB paper tree
+needs no initialization pass.
+
+All timed methods take and return a time in *memory-controller cycles*; the
+caller (the ORAM controller) owns clock-domain conversion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.mem.controller import NVMMainMemory
+from repro.mem.request import Access, RequestKind
+from repro.oram.block import Block, BlockCodec
+from repro.oram.bucket import Bucket
+from repro.oram.layout import TreeRegion
+from repro.util.bitops import bucket_index
+
+
+class ORAMTree:
+    """Timed, encrypted view of one ORAM tree region."""
+
+    def __init__(
+        self,
+        region: TreeRegion,
+        memory: NVMMainMemory,
+        codec: BlockCodec,
+        kind: RequestKind = RequestKind.DATA_PATH,
+    ):
+        self.region = region
+        self.memory = memory
+        self.codec = codec
+        self.kind = kind
+
+    @property
+    def height(self) -> int:
+        return self.region.height
+
+    @property
+    def z(self) -> int:
+        return self.region.z
+
+    @property
+    def path_slots(self) -> int:
+        """Slots on one path: Z * (height + 1)."""
+        return self.z * (self.height + 1)
+
+    # -- functional (untimed) access -------------------------------------------
+
+    def load_slot(self, bucket_idx: int, slot: int) -> Block:
+        """Decode the block stored at one slot (dummy if never written)."""
+        address = self.region.slot_address(bucket_idx, slot)
+        wire = self.memory.load_line(address)
+        if wire is None:
+            return Block.dummy(self.codec.block_bytes)
+        return self.codec.decode(wire)
+
+    def store_slot(self, bucket_idx: int, slot: int, block: Block) -> int:
+        """Encode and functionally store a block; returns the line address."""
+        address = self.region.slot_address(bucket_idx, slot)
+        self.memory.store_line(address, self.codec.encode(block))
+        return address
+
+    def load_bucket(self, bucket_idx: int) -> Bucket:
+        """Decode one full bucket."""
+        return Bucket(self.z, [self.load_slot(bucket_idx, s) for s in range(self.z)])
+
+    # -- timed path access -----------------------------------------------------
+
+    def read_path(self, path_id: int, start_cycle: int) -> Tuple[List[Block], int]:
+        """Read and decrypt every slot on a path.
+
+        Returns ``(blocks, finish_cycle)`` with blocks ordered root-first.
+        One timed line read is issued per slot.
+        """
+        blocks: List[Block] = []
+        finish = start_cycle
+        for level in range(self.height + 1):
+            b_idx = bucket_index(path_id, level, self.height)
+            for slot in range(self.z):
+                address = self.region.slot_address(b_idx, slot)
+                request = self.memory.access(address, Access.READ, start_cycle, self.kind)
+                finish = max(finish, request.complete_cycle or start_cycle)
+                blocks.append(self.load_slot(b_idx, slot))
+        return blocks, finish
+
+    def read_path_headers(self, path_id: int) -> List[Block]:
+        """Functional header-only scan of a path (used by recovery)."""
+        blocks: List[Block] = []
+        for level in range(self.height + 1):
+            b_idx = bucket_index(path_id, level, self.height)
+            for slot in range(self.z):
+                address = self.region.slot_address(b_idx, slot)
+                wire = self.memory.load_line(address)
+                if wire is None:
+                    blocks.append(Block.dummy(self.codec.block_bytes))
+                else:
+                    blocks.append(self.codec.decode_header(wire))
+        return blocks
+
+    def write_path(
+        self,
+        path_id: int,
+        assignment: List[List[Block]],
+        start_cycle: int,
+    ) -> int:
+        """Encrypt and write a full path.
+
+        ``assignment[level]`` is the list of blocks (padded with dummies by
+        the caller or here) placed in the bucket at that level.  Every slot
+        on the path is written — full-path re-encryption is what keeps the
+        write pattern independent of the eviction content.  Returns the
+        finish cycle.
+        """
+        if len(assignment) != self.height + 1:
+            raise ValueError(
+                f"assignment has {len(assignment)} levels, expected {self.height + 1}"
+            )
+        finish = start_cycle
+        for level, placed in enumerate(assignment):
+            if len(placed) > self.z:
+                raise ValueError(f"level {level} assigned {len(placed)} > Z={self.z} blocks")
+            b_idx = bucket_index(path_id, level, self.height)
+            padded = list(placed) + [
+                Block.dummy(self.codec.block_bytes) for _ in range(self.z - len(placed))
+            ]
+            for slot, block in enumerate(padded):
+                address = self.region.slot_address(b_idx, slot)
+                wire = self.codec.encode(block)
+                request = self.memory.access(
+                    address, Access.WRITE, start_cycle, self.kind, data=wire
+                )
+                finish = max(finish, request.complete_cycle or start_cycle)
+        return finish
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def real_block_count(self) -> int:
+        """Total real blocks currently stored (functional full scan)."""
+        count = 0
+        for bucket_idx in range(self.region.num_buckets):
+            count += self.load_bucket(bucket_idx).real_count
+        return count
+
+    def occupancy_by_level(self) -> List[float]:
+        """Mean real-block fraction per level (functional full scan)."""
+        totals = [0 for _ in range(self.height + 1)]
+        counts = [0 for _ in range(self.height + 1)]
+        for bucket_idx in range(self.region.num_buckets):
+            level = (bucket_idx + 1).bit_length() - 1
+            totals[level] += self.load_bucket(bucket_idx).real_count
+            counts[level] += self.z
+        return [t / c if c else 0.0 for t, c in zip(totals, counts)]

@@ -1,0 +1,213 @@
+"""One-shot evaluation report: regenerate all paper tables/figures as text.
+
+``python -m repro`` (or ``python -m repro.report``) runs the same pipelines
+as the benchmark suite and prints every table and figure analogue with the
+paper's published values alongside — the script behind EXPERIMENTS.md.
+
+Options::
+
+    python -m repro --quick          # smaller sweeps (default)
+    python -m repro --full           # all 14 workloads, longer traces
+    python -m repro --only fig5a     # one experiment id
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import (
+    BENCH_CONFIG,
+    BENCH_WORKLOADS,
+    FULL_WORKLOADS,
+    format_table,
+    sweep,
+)
+from repro.config import WPQConfig
+from repro.core.variants import NON_RECURSIVE_VARIANTS
+from repro.energy.model import EADR_CACHE, EADR_ORAM, PS_ORAM, PS_ORAM_SMALL
+from repro.sim.results import geometric_mean, normalize
+from repro.util.units import format_energy, format_time
+
+#: Paper values used in the side-by-side columns (ISCA'22, Section 5).
+PAPER = {
+    "fullnvm": 1.9054,
+    "fullnvm-stt": 1.3769,
+    "naive-ps": 1.7392,
+    "ps": 1.0429,
+    "rcr-baseline": 1.6893,
+    "rcr-ps": 1.7510,
+    "writes.fullnvm": 2.1163,
+    "writes.naive-ps": 2.009,
+    "writes.ps": 1.0484,
+}
+
+
+def _norm(results, metric="cycles") -> Dict[str, float]:
+    table = normalize(results, "baseline", metric)
+    return {variant: geometric_mean(row.values()) for variant, row in table.items()}
+
+
+def report_table2(args) -> None:
+    print(format_table(
+        "Table 2 — draining energy/time at crash",
+        ["System", "Energy", "Time", "vs PS-ORAM(96)"],
+        [
+            ("eADR-cache", format_energy(EADR_CACHE.energy_pj),
+             format_time(EADR_CACHE.time_ns),
+             f"{EADR_CACHE.energy_pj / PS_ORAM.energy_pj:,.0f}x"),
+            ("eADR-ORAM", format_energy(EADR_ORAM.energy_pj),
+             format_time(EADR_ORAM.time_ns),
+             f"{EADR_ORAM.energy_pj / PS_ORAM.energy_pj:,.0f}x"),
+            ("PS-ORAM (96)", format_energy(PS_ORAM.energy_pj),
+             format_time(PS_ORAM.time_ns), "1x"),
+            ("PS-ORAM (4)", format_energy(PS_ORAM_SMALL.energy_pj),
+             format_time(PS_ORAM_SMALL.time_ns), ""),
+        ],
+    ))
+
+
+def report_table4(args) -> None:
+    from repro.workloads.spec import SPEC_WORKLOADS, measure_llc_misses, spec_workload
+
+    rows = []
+    for name in args.workloads:
+        trace = spec_workload(name, references=4000)
+        mpki = 1000.0 * measure_llc_misses(trace) / trace.instructions
+        rows.append((name, SPEC_WORKLOADS[name].mpki, mpki))
+    print(format_table("Table 4 — workload MPKIs", ["Workload", "Paper", "Measured"], rows))
+
+
+def report_fig5a(args) -> None:
+    results = sweep(NON_RECURSIVE_VARIANTS, args.workloads)
+    norm = _norm(results)
+    rows = [
+        (variant, PAPER.get(variant, 1.0), norm.get(variant, float("nan")))
+        for variant in NON_RECURSIVE_VARIANTS
+    ]
+    print(format_table(
+        "Figure 5(a) — normalized execution time (geomean)",
+        ["Variant", "Paper", "Measured"], rows,
+    ))
+
+
+def report_fig5b(args) -> None:
+    results = sweep(("baseline", "rcr-baseline", "rcr-ps"), args.workloads)
+    norm = _norm(results)
+    rows = [
+        ("rcr-baseline", PAPER["rcr-baseline"], norm["rcr-baseline"]),
+        ("rcr-ps", PAPER["rcr-ps"], norm["rcr-ps"]),
+        ("rcr-ps / rcr-baseline", 1.0365, norm["rcr-ps"] / norm["rcr-baseline"]),
+    ]
+    print(format_table(
+        "Figure 5(b) — recursive designs (normalized, geomean)",
+        ["Variant", "Paper", "Measured"], rows,
+    ))
+
+
+def report_fig6(args) -> None:
+    variants = ("baseline", "fullnvm", "naive-ps", "ps", "rcr-baseline", "rcr-ps")
+    results = sweep(variants, args.workloads)
+    reads = _norm(results, "nvm_reads")
+    writes = _norm(results, "nvm_writes")
+    rows = [
+        (variant, reads.get(variant, float("nan")),
+         PAPER.get(f"writes.{variant}", float("nan")),
+         writes.get(variant, float("nan")))
+        for variant in variants
+    ]
+    print(format_table(
+        "Figure 6 — NVM traffic normalized to Baseline",
+        ["Variant", "Reads", "Writes (paper)", "Writes (measured)"], rows,
+    ))
+
+
+def report_fig7(args) -> None:
+    rows = []
+    for channels in (1, 2, 4):
+        config = dataclasses.replace(BENCH_CONFIG, channels=channels)
+        results = sweep(("baseline", "ps"), args.workloads[:2], config=config)
+        cycles = {}
+        for result in results:
+            cycles.setdefault(result.variant, []).append(result.cycles)
+        rows.append((channels,
+                     sum(cycles["ps"]) / len(cycles["ps"]),
+                     _norm(results)["ps"]))
+    base = rows[0][1]
+    printable = [
+        (ch, f"+{base / cyc - 1:.1%}", gap) for ch, cyc, gap in rows
+    ]
+    print(format_table(
+        "Figure 7 — PS-ORAM channel scaling (paper: +51.3% @2ch, +53.8% @4ch)",
+        ["Channels", "Speedup vs 1ch", "Gap vs Baseline"], printable,
+    ))
+
+
+def report_wpq(args) -> None:
+    rows = []
+    for size in (96, 4):
+        config = dataclasses.replace(BENCH_CONFIG, wpq=WPQConfig(size, size))
+        result = sweep(("ps",), args.workloads[:1], config=config)[0]
+        rows.append((size, result.cycles, result.nvm_writes))
+    print(format_table(
+        "WPQ sizing — PS-ORAM with full-path vs 4-entry WPQs",
+        ["WPQ entries", "Cycles", "NVM writes"], rows,
+    ))
+
+
+def report_ring(args) -> None:
+    from repro.ring.controller import RingORAMController
+    from repro.ring.ps import PSRingController
+    from repro.util.rng import DeterministicRNG
+
+    out = {}
+    for name, cls in (("ring-baseline", RingORAMController), ("ring-ps", PSRingController)):
+        controller = cls(BENCH_CONFIG)
+        rng = DeterministicRNG(5)
+        for i in range(200):
+            controller.write(rng.randrange(500), bytes([i % 256]))
+        out[name] = controller.now
+    print(format_table(
+        "Extension — PS on Ring ORAM",
+        ["Variant", "Cycles", "vs baseline"],
+        [
+            ("ring-baseline", out["ring-baseline"], 1.0),
+            ("ring-ps", out["ring-ps"], out["ring-ps"] / out["ring-baseline"]),
+        ],
+    ))
+
+
+EXPERIMENTS = {
+    "table2": report_table2,
+    "table4": report_table4,
+    "fig5a": report_fig5a,
+    "fig5b": report_fig5b,
+    "fig6": report_fig6,
+    "fig7": report_fig7,
+    "wpq": report_wpq,
+    "ring": report_ring,
+}
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="all 14 workloads (slower)")
+    parser.add_argument("--only", choices=sorted(EXPERIMENTS), default=None,
+                        help="run a single experiment")
+    args = parser.parse_args(argv)
+    args.workloads = list(FULL_WORKLOADS if args.full else BENCH_WORKLOADS)
+
+    todo: List[str] = [args.only] if args.only else list(EXPERIMENTS)
+    for index, name in enumerate(todo):
+        started = time.time()
+        EXPERIMENTS[name](args)
+        print(f"[{name}: {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

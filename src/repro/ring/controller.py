@@ -1,0 +1,420 @@
+"""Ring ORAM controller (baseline, no crash consistency).
+
+Ring ORAM (Ren et al., USENIX Security'15) restructures the tree access:
+
+* each bucket has ``Z`` real + ``S`` dummy slots, randomly permuted at
+  bucket-write time, plus metadata (slot directory + access counter);
+* an access reads **one** slot per bucket on the path — the block of
+  interest where present, a fresh dummy elsewhere — so the access path
+  costs ``L + 1`` blocks instead of Path ORAM's ``Z * (L + 1)``;
+* the stash drains through **EvictPath** every ``A`` accesses, on paths in
+  reverse-lexicographic order;
+* a bucket whose dummies run out is **early-reshuffled**.
+
+Modelling choices (documented in DESIGN.md): bucket metadata lives in one
+encrypted NVM line per bucket (read+written per touched bucket, as a
+hardware header would be); EvictPath and reshuffles read all ``Z + S``
+slots of the buckets they rewrite (the XOR/valid-only bandwidth tricks of
+the original paper are orthogonal to crash consistency and are not
+modelled).
+
+This baseline keeps the stash and PosMap volatile: like the Path ORAM
+baseline it loses data on a crash.  The crash-consistent variant is
+:class:`repro.ring.ps.PSRingController`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.crypto.engine import CryptoEngine
+from repro.errors import InvalidAddressError
+from repro.mem.controller import NVMMainMemory
+from repro.oram.block import Block, BlockCodec
+from repro.oram.controller import AccessResult
+from repro.oram.posmap import PersistentPosMapImage, PositionMap
+from repro.oram.stash import Stash, StashEntry
+from repro.ring.metadata import DUMMY_SLOT, BucketMetadata
+from repro.ring.tree import RingBucketStore, RingLayout, RingParams
+from repro.util.bitops import lowest_common_level
+from repro.util.clock import ClockDomain
+from repro.util.rng import DeterministicRNG
+from repro.util.stats import StatSet
+
+
+def reverse_lexicographic_path(counter: int, height: int) -> int:
+    """The EvictPath order: bit-reversed counter (Ren et al.)."""
+    value = counter % (1 << height) if height > 0 else 0
+    reversed_bits = 0
+    for _ in range(height):
+        reversed_bits = (reversed_bits << 1) | (value & 1)
+        value >>= 1
+    return reversed_bits
+
+
+class RingORAMController:
+    """Baseline Ring ORAM on NVM."""
+
+    ONCHIP_LOOKUP_CYCLES = 4
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        memory: Optional[NVMMainMemory] = None,
+        key: bytes = b"repro-psoram-key",
+        params: Optional[RingParams] = None,
+    ):
+        config.validate()
+        self.config = config
+        self.oram_config = config.oram
+        self.params = params or RingParams(z=config.oram.z)
+        self.params.validate()
+        self.layout = RingLayout(config.oram, self.params)
+        self.memory = memory or NVMMainMemory(
+            config.nvm,
+            channels=config.channels,
+            banks_per_channel=config.banks_per_channel,
+            line_bytes=config.oram.block_bytes,
+        )
+        self.engine = CryptoEngine(key, aes_latency_cycles=config.oram.aes_latency_cycles)
+        self.codec = BlockCodec(self.engine, config.oram.block_bytes)
+        self.store = RingBucketStore(
+            self.layout, self.memory, self.codec, self.engine, self.params
+        )
+        self.stash = Stash(config.oram.stash_capacity)
+        self.posmap = PositionMap(
+            num_entries=config.oram.num_logical_blocks,
+            num_leaves=1 << config.oram.height,
+            seed_key=key + b"ring",
+        )
+        self.persistent_posmap = PersistentPosMapImage(
+            self.layout.posmap, self.memory, self.posmap
+        )
+        self.rng = DeterministicRNG(config.seed).substream("ring-remap")
+        self.shuffle_rng = DeterministicRNG(config.seed).substream("ring-shuffle")
+        self.clock = ClockDomain(config.core.freq_hz, config.nvm.freq_hz)
+        self.now = 0
+        self._version = 0
+        self._access_counter = 0
+        self._evict_counter = 0
+        self._round = 0
+        self._touched: List[Tuple[int, BucketMetadata, int]] = []
+        self._backup_slot: Optional[Tuple[int, int]] = None
+        self._reshuffle_queue: List[int] = []
+        self.stats = StatSet("ring")
+        self.crash_hook = None
+
+    # ------------------------------------------------------------------
+    # public API (mirrors the Path ORAM controllers)
+    # ------------------------------------------------------------------
+
+    def read(self, address: int, start_cycle: Optional[int] = None) -> AccessResult:
+        return self.access(address, is_write=False, start_cycle=start_cycle)
+
+    def write(self, address: int, data: bytes, start_cycle: Optional[int] = None) -> AccessResult:
+        return self.access(address, is_write=True, data=data, start_cycle=start_cycle)
+
+    def access(
+        self,
+        address: int,
+        is_write: bool,
+        data: Optional[bytes] = None,
+        start_cycle: Optional[int] = None,
+    ) -> AccessResult:
+        self._check_address(address)
+        payload = self._pad(data) if is_write else None
+        if is_write and data is None:
+            raise ValueError("write access requires data")
+        start = self.now if start_cycle is None else max(self.now, start_cycle)
+        self.now = start + self.ONCHIP_LOOKUP_CYCLES
+        self._round += 1
+        self.stats.counter("accesses").add()
+
+        entry = self.stash.find(address)
+        if entry is not None and self._allow_stash_hit_return(is_write):
+            result_data = self._apply(entry, is_write, payload)
+            self.stats.counter("stash_hits").add()
+            return AccessResult(address, is_write, result_data, True,
+                                entry.block.path_id, entry.block.path_id,
+                                start, self.now)
+
+        old_path, new_path = self._remap(address)
+        target = self._read_path(address, old_path, new_path)
+        result_data = self._apply(target, is_write, payload)
+        self._after_fetch(target, old_path, new_path)
+        # The access write-back happens after the program op so the PS
+        # variant's in-place backup carries the freshly written data.
+        self._write_back_access(target, old_path)
+        for bucket_idx in self._reshuffle_queue:
+            self._reshuffle_bucket(bucket_idx)
+        self._reshuffle_queue = []
+
+        self._access_counter += 1
+        if self._access_counter % self.params.a == 0:
+            self._evict_path()
+
+        return AccessResult(address, is_write, result_data, False,
+                            old_path, new_path, start, self.now)
+
+    # ------------------------------------------------------------------
+    # protocol pieces (hooks overridden by PS-Ring)
+    # ------------------------------------------------------------------
+
+    def _allow_stash_hit_return(self, mutates: bool) -> bool:
+        return True
+
+    def _remap(self, address: int) -> Tuple[int, int]:
+        old_path = self._position_of(address)
+        new_path = self.rng.randrange(self.posmap.num_leaves)
+        self.posmap.set(address, new_path)
+        return old_path, new_path
+
+    def _position_of(self, address: int) -> int:
+        return self.posmap.get(address)
+
+    def _read_path(self, address: int, path_id: int, new_path: int) -> StashEntry:
+        """Ring access: one slot per bucket, via the metadata directory."""
+        mem_now = self.clock.core_to_mem(self.now)
+        finish = mem_now
+        found: Optional[Block] = None
+        found_at: Optional[Tuple[int, int]] = None
+        touched: List[Tuple[int, BucketMetadata, int]] = []
+        self._reshuffle_queue = []
+        for bucket_idx in self.store.path_buckets(path_id):
+            metadata, done = self.store.read_metadata_timed(bucket_idx, mem_now)
+            finish = max(finish, done)
+            slot = metadata.slot_of(address)
+            if slot is None:
+                slot = metadata.fresh_dummy_slot()
+                if slot is None:
+                    # Budget exhausted before the reshuffle could run; the
+                    # reshuffle below will restore it.  Read slot 0 as a
+                    # stand-in (the bucket is rewritten this access anyway).
+                    slot = 0
+                    self.stats.counter("dummy_exhaustion").add()
+                else:
+                    metadata.consume(slot)
+            else:
+                metadata.consume(slot)
+            block, done = self.store.read_slot_timed(bucket_idx, slot, mem_now)
+            finish = max(finish, done)
+            if block.address == address and (
+                found is None or block.version > found.version
+            ):
+                found = block
+                found_at = (bucket_idx, slot)
+            touched.append((bucket_idx, metadata, slot))
+            if metadata.needs_reshuffle(self.params.s):
+                self._reshuffle_queue.append(bucket_idx)
+        self.now = self.clock.mem_to_core(finish)
+        self.now += self.engine.batch_latency_cycles(len(touched))
+
+        # State for the post-program-op write-back (see access()).
+        self._touched = touched
+        self._backup_slot = found_at if found_at is not None else (
+            (touched[-1][0], touched[-1][2]) if touched else None
+        )
+
+        target = self.stash.find(address)
+        if target is None:
+            if found is not None:
+                target = StashEntry(found, fetch_round=self._round)
+                self.stash.add(target)
+            else:
+                self.stats.counter("cold_misses").add()
+                block = Block(address=address, path_id=new_path,
+                              data=bytes(self.oram_config.block_bytes),
+                              version=self._next_version())
+                target = StashEntry(block, dirty=True, fetch_round=self._round)
+                self.stash.add(target)
+        return target
+
+    def _write_back_access(self, target: StashEntry, old_path: int) -> None:
+        """Baseline: persist only the metadata updates (consumed bits)."""
+        mem_now = self.clock.core_to_mem(self.now)
+        for bucket_idx, metadata, _slot in self._touched:
+            self.store.write_metadata_timed(bucket_idx, metadata, mem_now)
+        self._touched = []
+
+    def _after_fetch(self, target: StashEntry, old_path: int, new_path: int) -> None:
+        target.block = Block(
+            address=target.block.address,
+            path_id=new_path,
+            data=target.block.data,
+            version=self._next_version(),
+        )
+
+    # ------------------------------------------------------------------
+    # EvictPath and reshuffle
+    # ------------------------------------------------------------------
+
+    def _evict_path(self) -> None:
+        """Read a reverse-lexicographic path fully, repack, rewrite."""
+        path_id = reverse_lexicographic_path(self._evict_counter, self.store.height)
+        self._evict_counter += 1
+        self.stats.counter("evict_paths").add()
+
+        mem_now = self.clock.core_to_mem(self.now)
+        finish = mem_now
+        for bucket_idx in self.store.path_buckets(path_id):
+            metadata, done = self.store.read_metadata_timed(bucket_idx, mem_now)
+            finish = max(finish, done)
+            for slot in range(self.params.slots_per_bucket):
+                block, done = self.store.read_slot_timed(bucket_idx, slot, mem_now)
+                finish = max(finish, done)
+                self._absorb(block)
+        self.now = self.clock.mem_to_core(finish)
+
+        assignment, placed = self._plan_eviction(path_id)
+        self.now += self.engine.batch_latency_cycles(
+            (self.store.height + 1) * self.params.slots_per_bucket
+        )
+        self._write_path(path_id, assignment, placed)
+        for entry in placed:
+            self.stash.remove(entry)
+        self.stats.histogram("post_evict_stash").record(self.stash.occupancy)
+
+    def _absorb(self, block: Block) -> None:
+        """Stash-absorption with the Path ORAM staleness rules."""
+        if block.is_dummy:
+            return
+        live = self.stash.find(block.address)
+        if live is not None:
+            self._absorb_shadowed(block)
+            return
+        if block.path_id != self._position_of(block.address):
+            self.stats.counter("stale_copies_dropped").add()
+            return
+        self.stash.add(StashEntry(block, fetch_round=self._round))
+
+    def _absorb_shadowed(self, block: Block) -> None:
+        """Hook: a tree copy shadowed by a live stash entry (PS keeps it)."""
+        self.stats.counter("stale_copies_dropped").add()
+
+    def _plan_eviction(self, path_id: int):
+        """Greedy deepest-first packing, Z real blocks per bucket."""
+        height = self.store.height
+        assignment: List[List[Block]] = [[] for _ in range(height + 1)]
+        placed: List[StashEntry] = []
+
+        def priority(entry: StashEntry):
+            resident = entry.is_backup or entry.fetch_round == self._round
+            return (resident,
+                    lowest_common_level(path_id, entry.block.path_id, height))
+
+        for entry in sorted(self.stash.entries(), key=priority, reverse=True):
+            deepest = lowest_common_level(path_id, entry.block.path_id, height)
+            for level in range(deepest, -1, -1):
+                if len(assignment[level]) < self.params.z:
+                    assignment[level].append(entry.block)
+                    placed.append(entry)
+                    break
+        return assignment, placed
+
+    def _permuted_bucket(self, blocks: List[Block]) -> Tuple[List[Block], BucketMetadata]:
+        """Assemble one bucket: blocks + dummies, randomly permuted."""
+        slots = self.params.slots_per_bucket
+        contents: List[Optional[Block]] = list(blocks) + [None] * (slots - len(blocks))
+        self.shuffle_rng.shuffle(contents)
+        out_blocks: List[Block] = []
+        addresses: List[int] = []
+        for item in contents:
+            if item is None:
+                out_blocks.append(Block.dummy(self.codec.block_bytes))
+                addresses.append(DUMMY_SLOT)
+            else:
+                out_blocks.append(item)
+                addresses.append(item.address)
+        metadata = BucketMetadata(addresses, [False] * slots, 0)
+        return out_blocks, metadata
+
+    def _write_path(self, path_id: int, assignment, placed) -> None:
+        """Baseline: direct timed rewrite of every slot + metadata."""
+        mem_now = self.clock.core_to_mem(self.now)
+        for level, bucket_idx in enumerate(self.store.path_buckets(path_id)):
+            blocks, metadata = self._permuted_bucket(assignment[level])
+            for slot, block in enumerate(blocks):
+                self.store.write_slot_timed(bucket_idx, slot, block, mem_now)
+            self.store.write_metadata_timed(bucket_idx, metadata, mem_now)
+
+    def _reshuffle_bucket(self, bucket_idx: int) -> None:
+        """Early reshuffle: re-permute one bucket with fresh dummies."""
+        self.stats.counter("early_reshuffles").add()
+        mem_now = self.clock.core_to_mem(self.now)
+        finish = mem_now
+        keep: List[Block] = []
+        for slot in range(self.params.slots_per_bucket):
+            block, done = self.store.read_slot_timed(bucket_idx, slot, mem_now)
+            finish = max(finish, done)
+            if block.is_dummy:
+                continue
+            if self.stash.find(block.address) is not None:
+                keep.extend(self._reshuffle_shadowed(block))
+                continue
+            if block.path_id != self._position_of(block.address):
+                continue
+            keep.append(block)
+        self.now = self.clock.mem_to_core(finish)
+        keep = keep[: self.params.z]  # bucket real capacity
+        blocks, metadata = self._permuted_bucket(keep)
+        self._write_bucket(bucket_idx, blocks, metadata)
+
+    def _reshuffle_shadowed(self, block: Block) -> List[Block]:
+        """Hook: shadowed copy during reshuffle (PS preserves pending ones)."""
+        return []
+
+    def _write_bucket(self, bucket_idx: int, blocks, metadata) -> None:
+        mem_now = self.clock.core_to_mem(self.now)
+        for slot, block in enumerate(blocks):
+            self.store.write_slot_timed(bucket_idx, slot, block, mem_now)
+        self.store.write_metadata_timed(bucket_idx, metadata, mem_now)
+
+    # ------------------------------------------------------------------
+    # shared helpers / crash
+    # ------------------------------------------------------------------
+
+    def _apply(self, entry: StashEntry, is_write: bool, payload: Optional[bytes]) -> bytes:
+        old = entry.block.data
+        if is_write:
+            entry.block = Block(
+                address=entry.block.address,
+                path_id=entry.block.path_id,
+                data=payload,
+                version=self._next_version(),
+            )
+            entry.dirty = True
+        return old
+
+    def _pad(self, data: Optional[bytes]) -> bytes:
+        data = bytes(data or b"")
+        if len(data) > self.oram_config.block_bytes:
+            raise ValueError("payload exceeds block size")
+        return data + bytes(self.oram_config.block_bytes - len(data))
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.oram_config.num_logical_blocks:
+            raise InvalidAddressError(f"address {address} out of range")
+
+    def _next_version(self) -> int:
+        self._version += 1
+        return self._version
+
+    def _checkpoint(self, label: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(label)
+
+    @property
+    def traffic(self):
+        return self.memory.traffic
+
+    def crash(self) -> None:
+        self.stash.clear()
+        self.posmap.clear()
+        self.stats.counter("crashes").add()
+
+    def recover(self) -> bool:
+        return False
+
+    def supports_crash_consistency(self) -> bool:
+        return False

@@ -1,0 +1,100 @@
+"""Per-bucket Ring ORAM metadata.
+
+Each Ring ORAM bucket holds ``Z + S`` slots whose contents were randomly
+permuted at the last bucket write.  The metadata records, per slot, which
+logical block (or dummy) sits there and whether it has been consumed, plus
+the count of accesses since the last reshuffle.  On hardware this blob is
+encrypted in the bucket header; here it serializes to one NVM line via the
+block cipher, so it is confidential, tamper-evident and crash-persistent
+like everything else in the image.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.crypto.engine import CryptoEngine
+
+#: Slot address marker for a dummy slot.
+DUMMY_SLOT = -1
+
+
+class BucketMetadata:
+    """Slot directory + access counter for one Ring ORAM bucket."""
+
+    __slots__ = ("addresses", "consumed", "accesses")
+
+    def __init__(self, addresses: List[int], consumed: List[bool], accesses: int = 0):
+        if len(addresses) != len(consumed):
+            raise ValueError("addresses and consumed must have equal length")
+        self.addresses = addresses
+        self.consumed = consumed
+        self.accesses = accesses
+
+    @classmethod
+    def empty(cls, num_slots: int) -> "BucketMetadata":
+        return cls([DUMMY_SLOT] * num_slots, [False] * num_slots, 0)
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.addresses)
+
+    def slot_of(self, address: int) -> Optional[int]:
+        """Slot index of a live (unconsumed) copy of ``address``."""
+        for slot, (slot_address, used) in enumerate(zip(self.addresses, self.consumed)):
+            if slot_address == address and not used:
+                return slot
+        return None
+
+    def fresh_dummy_slot(self) -> Optional[int]:
+        """Lowest unconsumed dummy slot (slots were permuted at write)."""
+        for slot, (slot_address, used) in enumerate(zip(self.addresses, self.consumed)):
+            if slot_address == DUMMY_SLOT and not used:
+                return slot
+        return None
+
+    def valid_real_slots(self) -> List[int]:
+        """Slots holding live real blocks."""
+        return [
+            slot
+            for slot, (slot_address, used) in enumerate(
+                zip(self.addresses, self.consumed)
+            )
+            if slot_address != DUMMY_SLOT and not used
+        ]
+
+    def consume(self, slot: int) -> None:
+        if self.consumed[slot]:
+            raise ValueError(f"slot {slot} already consumed")
+        self.consumed[slot] = True
+        self.accesses += 1
+
+    def needs_reshuffle(self, max_accesses: int) -> bool:
+        """True when the dummy budget is exhausted."""
+        return self.accesses >= max_accesses or self.fresh_dummy_slot() is None
+
+    # -- serialization -----------------------------------------------------
+
+    def encode(self, engine: CryptoEngine, iv: int) -> bytes:
+        body = bytearray()
+        body += self.num_slots.to_bytes(2, "little")
+        body += self.accesses.to_bytes(2, "little")
+        for address, used in zip(self.addresses, self.consumed):
+            body += address.to_bytes(8, "little", signed=True)
+            body += bytes([1 if used else 0])
+        return iv.to_bytes(8, "little") + engine.encrypt(bytes(body), iv)
+
+    @classmethod
+    def decode(cls, wire: bytes, engine: CryptoEngine) -> "BucketMetadata":
+        iv = int.from_bytes(wire[:8], "little")
+        body = engine.decrypt(wire[8:], iv)
+        num_slots = int.from_bytes(body[0:2], "little")
+        accesses = int.from_bytes(body[2:4], "little")
+        addresses: List[int] = []
+        consumed: List[bool] = []
+        offset = 4
+        for _ in range(num_slots):
+            addresses.append(int.from_bytes(body[offset : offset + 8], "little", signed=True))
+            consumed.append(body[offset + 8] == 1)
+            offset += 9
+        return cls(addresses, consumed, accesses)

@@ -1,0 +1,23 @@
+"""Access-pattern security analysis (paper Section 4.6).
+
+* :mod:`repro.security.observer` — a bus observer recording the address
+  sequence an attacker probing the memory bus would see.
+* :mod:`repro.security.analysis` — statistical checks on recorded traces:
+  path-id uniformity, access-length invariance, and independence of the
+  observed pattern from the logical pattern.
+"""
+
+from repro.security.analysis import (
+    access_length_invariance,
+    path_uniformity_pvalue,
+    sequence_similarity,
+)
+from repro.security.observer import BusObserver, ObservedAccess
+
+__all__ = [
+    "BusObserver",
+    "ObservedAccess",
+    "path_uniformity_pvalue",
+    "access_length_invariance",
+    "sequence_similarity",
+]

@@ -1,0 +1,67 @@
+"""Memory-bus observer: what a physical attacker sees.
+
+The threat model (paper Section 2.1) grants the adversary the address,
+command and data buses — addresses and read/write types in cleartext, data
+as ciphertext.  The observer hooks an :class:`NVMMainMemory` and records
+exactly that view, so the analysis module can test whether two logical
+access sequences are distinguishable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mem.controller import NVMMainMemory
+from repro.mem.request import Access, MemoryRequest, RequestKind
+
+
+@dataclass(frozen=True)
+class ObservedAccess:
+    """One bus event visible to the adversary."""
+
+    address: int
+    is_write: bool
+    kind: str  # visible only as a region in practice; kept for analysis
+
+
+class BusObserver:
+    """Records every request an NVM memory services."""
+
+    def __init__(self, memory: NVMMainMemory):
+        self.memory = memory
+        self.events: List[ObservedAccess] = []
+        self._original_access = memory.access
+        memory.access = self._tap  # type: ignore[assignment]
+
+    def _tap(
+        self,
+        address: int,
+        access: Access,
+        arrival_cycle: int,
+        kind: RequestKind = RequestKind.DATA_PATH,
+        data: Optional[bytes] = None,
+    ) -> MemoryRequest:
+        self.events.append(
+            ObservedAccess(address, access is Access.WRITE, kind.value)
+        )
+        return self._original_access(address, access, arrival_cycle, kind, data)
+
+    def detach(self) -> None:
+        """Stop observing (restores the original access method)."""
+        self.memory.access = self._original_access  # type: ignore[assignment]
+
+    def addresses(self) -> List[int]:
+        return [event.address for event in self.events]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __enter__(self) -> "BusObserver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()

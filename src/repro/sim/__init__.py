@@ -1,0 +1,21 @@
+"""Trace-driven full-system simulator.
+
+Wires a workload trace through the in-order core model, the L1/L2 cache
+hierarchy and an ORAM (or plain) memory controller, and produces
+:class:`~repro.sim.results.RunResult` records the benches aggregate into
+the paper's tables and figures.
+"""
+
+from repro.sim.cpu import InOrderCore
+from repro.sim.results import RunResult, normalize
+from repro.sim.runner import run_experiment, run_variants
+from repro.sim.system import SimulatedSystem
+
+__all__ = [
+    "InOrderCore",
+    "SimulatedSystem",
+    "RunResult",
+    "normalize",
+    "run_experiment",
+    "run_variants",
+]

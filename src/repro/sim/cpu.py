@@ -1,0 +1,56 @@
+"""In-order core model (paper Table 3a).
+
+The paper models a single in-order core at 3.2 GHz and notes that the
+memory system dominates: an LLC miss stalls the core for the full ORAM
+access.  The model therefore needs only two ingredients:
+
+* non-memory work retires at ``base_cpi`` cycles per instruction;
+* every memory reference runs through the cache hierarchy; an LLC miss
+  blocks until the memory controller's access completes.
+
+Cache hit latencies are folded in per access (L1 hit = L1 latency; L2 hit
+= L1 + L2).
+"""
+
+from __future__ import annotations
+
+from repro.config import CoreConfig
+from repro.util.stats import StatSet
+
+
+class InOrderCore:
+    """Cycle accounting for one in-order core."""
+
+    def __init__(self, config: CoreConfig):
+        config.validate()
+        self.config = config
+        self.cycle = 0
+        self.instructions = 0
+        self.stats = StatSet("core")
+
+    def execute_instructions(self, count: int) -> None:
+        """Retire ``count`` non-memory instructions."""
+        if count < 0:
+            raise ValueError(f"instruction count must be >= 0, got {count}")
+        self.cycle += int(count * self.config.base_cpi)
+        self.instructions += count
+
+    def memory_reference(self, hit_latency: int) -> None:
+        """Account an on-chip memory reference (cache lookup + one instr)."""
+        self.cycle += hit_latency + int(self.config.base_cpi)
+        self.instructions += 1
+        self.stats.counter("memory_refs").add()
+
+    def stall_until(self, cycle: int) -> None:
+        """Block the pipeline until ``cycle`` (an LLC miss completing)."""
+        if cycle > self.cycle:
+            self.stats.counter("stall_cycles").add(cycle - self.cycle)
+            self.cycle = cycle
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycle if self.cycle else 0.0
+
+    def seconds(self) -> float:
+        """Wall-clock seconds of simulated execution."""
+        return self.cycle / self.config.freq_hz

@@ -1,0 +1,80 @@
+"""Full-system wiring: core + caches + (ORAM | plain) memory controller.
+
+Replays a workload trace: gaps retire at base CPI, every memory reference
+runs through L1/L2, and each LLC miss (demand fill or dirty writeback)
+becomes a memory-controller access.  Reads stall the core until the access
+completes; writebacks are posted.
+
+Trace addresses are folded into the controller's logical block space
+(``line mod capacity``) — the workloads' footprints exceed the laptop-scale
+test trees, and the fold preserves the miss stream the caches produce.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.config import SystemConfig
+from repro.sim.cpu import InOrderCore
+from repro.util.stats import StatSet
+from repro.workloads.trace import Trace
+
+
+class SimulatedSystem:
+    """One core + cache hierarchy in front of one memory controller."""
+
+    def __init__(self, config: SystemConfig, controller):
+        config.validate()
+        self.config = config
+        self.controller = controller
+        self.core = InOrderCore(config.core)
+        self.caches = CacheHierarchy(config.l1d, config.l2)
+        self.stats = StatSet("system")
+        self._capacity = controller.oram_config.num_logical_blocks
+        self._line_bytes = config.oram.block_bytes
+
+    def _fold(self, address: int) -> int:
+        """Map a trace byte address into the controller's block space."""
+        return (address // self._line_bytes) % self._capacity
+
+    def run(self, trace: Trace, max_references: Optional[int] = None) -> None:
+        """Replay a trace to completion (or ``max_references``)."""
+        for index, op in enumerate(trace):
+            if max_references is not None and index >= max_references:
+                break
+            self.step(op)
+
+    def step(self, op) -> None:
+        """Replay one trace record."""
+        self.core.execute_instructions(op.gap)
+        llc_miss, memory_ops = self.caches.access(op.address, op.is_write)
+        self.core.memory_reference(self.caches.latency_cycles(llc_miss))
+        for address, is_writeback in memory_ops:
+            block = self._fold(address)
+            if is_writeback:
+                # Dirty evictions are posted: the ORAM write happens (and
+                # occupies the memory system) but the core does not wait.
+                self.controller.access(
+                    block, is_write=True, data=b"", start_cycle=self.core.cycle
+                )
+                self.stats.counter("writebacks").add()
+            else:
+                result = self.controller.access(
+                    block, is_write=False, start_cycle=self.core.cycle
+                )
+                self.core.stall_until(result.finish_cycle)
+                self.stats.counter("demand_misses").add()
+
+    # -- results -----------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self.core.cycle
+
+    @property
+    def instructions(self) -> int:
+        return self.core.instructions
+
+    def mpki(self) -> float:
+        return self.caches.mpki(self.core.instructions)

@@ -1,0 +1,43 @@
+"""Shared low-level helpers: tree index math, RNG, statistics, units."""
+
+from repro.util.bitops import (
+    bucket_index,
+    bucket_level,
+    buckets_in_tree,
+    leaf_count,
+    lowest_common_level,
+    path_bucket_indices,
+    path_intersects_bucket,
+)
+from repro.util.rng import DeterministicRNG
+from repro.util.stats import Counter, Histogram, StatSet
+from repro.util.units import (
+    BYTES_PER_KB,
+    BYTES_PER_MB,
+    cycles_to_ns,
+    format_bytes,
+    format_energy,
+    format_time,
+    ns_to_cycles,
+)
+
+__all__ = [
+    "bucket_index",
+    "bucket_level",
+    "buckets_in_tree",
+    "leaf_count",
+    "lowest_common_level",
+    "path_bucket_indices",
+    "path_intersects_bucket",
+    "DeterministicRNG",
+    "Counter",
+    "Histogram",
+    "StatSet",
+    "BYTES_PER_KB",
+    "BYTES_PER_MB",
+    "cycles_to_ns",
+    "format_bytes",
+    "format_energy",
+    "format_time",
+    "ns_to_cycles",
+]

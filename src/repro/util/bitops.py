@@ -1,0 +1,83 @@
+"""Index math for complete binary trees stored in level order.
+
+The ORAM tree of height ``L`` has ``L + 1`` levels (root = level 0, leaves =
+level ``L``) and ``2**(L + 1) - 1`` buckets.  Buckets are numbered in level
+order starting from the root at index 0, so the children of bucket ``i`` are
+``2 * i + 1`` and ``2 * i + 2``.
+
+A *path id* (leaf label) ``l`` in ``[0, 2**L)`` names the root-to-leaf path
+that ends at the ``l``-th leaf counted left to right.  These helpers convert
+between path ids, levels and level-order bucket indices; everything else in
+the ORAM layer builds on them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def leaf_count(height: int) -> int:
+    """Number of leaves in a tree of height ``height`` (``2**height``)."""
+    if height < 0:
+        raise ValueError(f"tree height must be >= 0, got {height}")
+    return 1 << height
+
+
+def buckets_in_tree(height: int) -> int:
+    """Total number of buckets in a complete tree of height ``height``."""
+    if height < 0:
+        raise ValueError(f"tree height must be >= 0, got {height}")
+    return (1 << (height + 1)) - 1
+
+
+def bucket_index(path_id: int, level: int, height: int) -> int:
+    """Level-order index of the bucket at ``level`` on path ``path_id``.
+
+    Level 0 is the root; level ``height`` is the leaf.  The bucket on the
+    path at a given level is found by taking the high ``level`` bits of the
+    path id as a route from the root.
+    """
+    if not 0 <= level <= height:
+        raise ValueError(f"level {level} out of range [0, {height}]")
+    if not 0 <= path_id < (1 << height):
+        raise ValueError(f"path id {path_id} out of range [0, {1 << height})")
+    # The leaf row starts at index 2**height - 1; walking up one level
+    # from node i lands on (i - 1) // 2.  Equivalently, the ancestor of
+    # leaf `path_id` at `level` is found from the top `level` bits.
+    prefix = path_id >> (height - level)
+    return (1 << level) - 1 + prefix
+
+
+def bucket_level(index: int) -> int:
+    """Level of a level-order bucket index (root index 0 -> level 0)."""
+    if index < 0:
+        raise ValueError(f"bucket index must be >= 0, got {index}")
+    return (index + 1).bit_length() - 1
+
+
+def path_bucket_indices(path_id: int, height: int) -> List[int]:
+    """All bucket indices on the path ``path_id``, root first."""
+    return [bucket_index(path_id, lvl, height) for lvl in range(height + 1)]
+
+
+def path_intersects_bucket(path_id: int, index: int, height: int) -> bool:
+    """True if the path to leaf ``path_id`` passes through bucket ``index``."""
+    level = bucket_level(index)
+    if level > height:
+        return False
+    return bucket_index(path_id, level, height) == index
+
+
+def lowest_common_level(path_a: int, path_b: int, height: int) -> int:
+    """Deepest level shared by the two paths (0 means they only share the root).
+
+    Used by the eviction logic: a block mapped to path ``path_b`` may be
+    placed on the currently evicted path ``path_a`` at any level at or above
+    the lowest level where the two paths still coincide.
+    """
+    if path_a == path_b:
+        return height
+    diff = path_a ^ path_b
+    # Two leaf labels agree on their top k bits iff the paths share the top
+    # k levels below the root.
+    return height - diff.bit_length()

@@ -1,0 +1,143 @@
+"""Lightweight statistics primitives used by the simulator.
+
+Three building blocks:
+
+* :class:`Counter` — a named monotonically increasing count.
+* :class:`Histogram` — bucketed distribution with mean/max/percentiles.
+* :class:`StatSet` — a registry of the above that a component exposes, and
+  that the experiment runner snapshots into result records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset to zero (used between measurement phases)."""
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A streaming histogram that keeps every sample.
+
+    Sample counts in this package are modest (one entry per ORAM access at
+    most), so an exact histogram is affordable and percentiles are exact.
+    """
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile via nearest-rank (p in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.2f})"
+
+
+class StatSet:
+    """A registry of counters and histograms owned by one component."""
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counters(self) -> Iterable[Counter]:
+        return self._counters.values()
+
+    def histograms(self) -> Iterable[Histogram]:
+        return self._histograms.values()
+
+    def get(self, name: str, default: Optional[int] = 0) -> int:
+        """Value of counter ``name``, or ``default`` if it never fired."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else default
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten all stats into a plain dict for result records."""
+        out: Dict[str, float] = {}
+        for counter in self._counters.values():
+            out[counter.name] = counter.value
+        for hist in self._histograms.values():
+            out[f"{hist.name}.count"] = hist.count
+            out[f"{hist.name}.mean"] = hist.mean
+            out[f"{hist.name}.max"] = hist.maximum
+        return out
+
+    def reset(self) -> None:
+        """Reset every counter and histogram."""
+        for counter in self._counters.values():
+            counter.reset()
+        for hist in self._histograms.values():
+            hist.reset()
+
+    def __repr__(self) -> str:
+        return f"StatSet({self.owner}: {len(self._counters)} counters, {len(self._histograms)} histograms)"

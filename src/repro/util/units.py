@@ -1,0 +1,62 @@
+"""Unit helpers: bytes, cycles <-> time, human-readable formatting."""
+
+from __future__ import annotations
+
+BYTES_PER_KB = 1024
+BYTES_PER_MB = 1024 * 1024
+BYTES_PER_GB = 1024 * 1024 * 1024
+
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+
+PJ_PER_NJ = 1_000.0
+PJ_PER_UJ = 1_000_000.0
+PJ_PER_MJ = 1_000_000_000.0
+PJ_PER_J = 1_000_000_000_000.0
+
+
+def cycles_to_ns(cycles: float, freq_hz: float) -> float:
+    """Convert a cycle count at ``freq_hz`` to nanoseconds."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return cycles * NS_PER_S / freq_hz
+
+
+def ns_to_cycles(ns: float, freq_hz: float) -> float:
+    """Convert nanoseconds to cycles at ``freq_hz``."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return ns * freq_hz / NS_PER_S
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (binary prefixes)."""
+    for unit, scale in (("GB", BYTES_PER_GB), ("MB", BYTES_PER_MB), ("KB", BYTES_PER_KB)):
+        if n >= scale:
+            return f"{n / scale:.2f}{unit}"
+    return f"{n:.0f}B"
+
+
+def format_time(ns: float) -> str:
+    """Human-readable time from nanoseconds."""
+    if ns >= NS_PER_S:
+        return f"{ns / NS_PER_S:.3f}s"
+    if ns >= NS_PER_MS:
+        return f"{ns / NS_PER_MS:.3f}ms"
+    if ns >= NS_PER_US:
+        return f"{ns / NS_PER_US:.3f}us"
+    return f"{ns:.3f}ns"
+
+
+def format_energy(pj: float) -> str:
+    """Human-readable energy from picojoules."""
+    if pj >= PJ_PER_J:
+        return f"{pj / PJ_PER_J:.3f}J"
+    if pj >= PJ_PER_MJ:
+        return f"{pj / PJ_PER_MJ:.3f}mJ"
+    if pj >= PJ_PER_UJ:
+        return f"{pj / PJ_PER_UJ:.3f}uJ"
+    if pj >= PJ_PER_NJ:
+        return f"{pj / PJ_PER_NJ:.3f}nJ"
+    return f"{pj:.3f}pJ"

@@ -1,0 +1,31 @@
+"""Workload substrate: traces, address-stream generators, SPEC-like suite.
+
+The paper drives its evaluation with SimPoint traces of 14 SPEC CPU2006
+workloads, characterised by their LLC MPKI (Table 4).  We cannot ship SPEC
+binaries, so :mod:`repro.workloads.spec` provides synthetic generators
+calibrated to hit each workload's published MPKI through the same L1/L2
+hierarchy the simulator uses (the substitution is recorded in DESIGN.md).
+"""
+
+from repro.workloads.spec import SPEC_WORKLOADS, WorkloadSpec, spec_workload
+from repro.workloads.trace import MemoryOp, Trace
+from repro.workloads.tracegen import (
+    mixed_trace,
+    pointer_chase_trace,
+    streaming_trace,
+    working_set_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "MemoryOp",
+    "Trace",
+    "SPEC_WORKLOADS",
+    "WorkloadSpec",
+    "spec_workload",
+    "mixed_trace",
+    "pointer_chase_trace",
+    "streaming_trace",
+    "working_set_trace",
+    "zipf_trace",
+]

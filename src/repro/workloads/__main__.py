@@ -1,0 +1,8 @@
+"""``python -m repro.workloads`` — trace toolkit entry point."""
+
+import sys
+
+from repro.workloads.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

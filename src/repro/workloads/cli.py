@@ -1,0 +1,108 @@
+"""Trace toolkit CLI: generate, inspect and calibrate workload traces.
+
+::
+
+    python -m repro.workloads generate 429.mcf --refs 5000 -o mcf.trace
+    python -m repro.workloads inspect mcf.trace
+    python -m repro.workloads list
+    python -m repro.workloads calibrate 429.mcf --refs 5000
+
+Traces use the line-oriented text format of
+:class:`repro.workloads.trace.Trace` and feed straight into
+:func:`repro.sim.runner.run_experiment`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.workloads.spec import (
+    SPEC_WORKLOADS,
+    all_workload_names,
+    measure_llc_misses,
+    spec_workload,
+)
+from repro.workloads.trace import Trace
+
+
+def _cmd_list(args) -> int:
+    print(f"{'workload':<16} {'paper MPKI':>10}  pattern")
+    for name in all_workload_names():
+        spec = SPEC_WORKLOADS[name]
+        print(f"{name:<16} {spec.mpki:>10.2f}  {spec.pattern}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    trace = spec_workload(args.workload, references=args.refs, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            trace.dump(handle)
+        print(f"wrote {len(trace)} references to {args.output}")
+    else:
+        sys.stdout.write(trace.dumps())
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        trace = Trace.load(handle)
+    misses = measure_llc_misses(trace)
+    mpki = 1000.0 * misses / trace.instructions if trace.instructions else 0.0
+    print(f"trace:        {trace.name}")
+    print(f"references:   {trace.memory_references}")
+    print(f"instructions: {trace.instructions}")
+    print(f"writes:       {trace.write_fraction:.1%}")
+    print(f"footprint:    {trace.footprint_lines()} lines "
+          f"({trace.footprint_lines() * 64 // 1024} KB)")
+    print(f"LLC misses:   {misses} (MPKI {mpki:.2f} through the paper's L1/L2)")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    spec = SPEC_WORKLOADS[args.workload]
+    trace = spec_workload(args.workload, references=args.refs, seed=args.seed)
+    misses = measure_llc_misses(trace)
+    mpki = 1000.0 * misses / trace.instructions
+    delta = (mpki / spec.mpki - 1.0) if spec.mpki else 0.0
+    print(f"{args.workload}: paper MPKI {spec.mpki:.2f}, "
+          f"measured {mpki:.2f} ({delta:+.1%})")
+    return 0 if abs(delta) < 0.25 else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table-4 workload suite")
+
+    generate = sub.add_parser("generate", help="emit a calibrated trace")
+    generate.add_argument("workload", choices=all_workload_names())
+    generate.add_argument("--refs", type=int, default=5000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("-o", "--output", default=None)
+
+    inspect = sub.add_parser("inspect", help="summarize a trace file")
+    inspect.add_argument("trace")
+
+    calibrate = sub.add_parser("calibrate", help="check MPKI calibration")
+    calibrate.add_argument("workload", choices=all_workload_names())
+    calibrate.add_argument("--refs", type=int, default=5000)
+    calibrate.add_argument("--seed", type=int, default=7)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "generate": _cmd_generate,
+        "inspect": _cmd_inspect,
+        "calibrate": _cmd_calibrate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

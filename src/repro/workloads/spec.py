@@ -1,0 +1,145 @@
+"""The 14-workload SPEC CPU2006-like suite (paper Table 4).
+
+We cannot ship SPEC binaries or SimPoint traces, so each workload is a
+synthetic address stream whose *pattern* matches the program's character
+(streaming compression, pointer chasing, hot working sets, ...) and whose
+LLC MPKI is **calibrated** to the value Table 4 reports: the address stream
+is generated once, run through the paper's L1/L2 hierarchy to measure the
+miss count, and the instruction gaps are then sized so misses per
+kilo-instruction hit the target.  The Table-4 bench verifies the calibration.
+
+This preserves what the evaluation actually consumes from the workloads —
+the rate and pattern of LLC misses — which is what drives every normalized
+result in Figures 5-7 (DESIGN.md records the substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.config import L1D_CONFIG, L2_CONFIG
+from repro.util.rng import DeterministicRNG
+from repro.workloads.trace import MemoryOp, Trace
+from repro.workloads import tracegen
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table-4 workload: name, target MPKI, address-stream pattern."""
+
+    name: str
+    mpki: float
+    pattern: str
+    footprint_lines: int
+    write_fraction: float = 0.3
+    pattern_kwargs: tuple = ()
+
+
+# Table 4 of the paper: workload names and LLC MPKIs.  Patterns and
+# footprints are our modelling choices (large footprints force capacity
+# misses; hot working sets keep MPKI low).
+SPEC_WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec("401.bzip2", 61.16, "streaming", 120_000, 0.35),
+        WorkloadSpec("403.gcc", 1.19, "working_set", 6_000, 0.35,
+                     (("hot_lines", 448), ("cold_lines", 120_000), ("cold_fraction", 0.5))),
+        WorkloadSpec("429.mcf", 4.66, "pointer_chase", 400_000, 0.15),
+        WorkloadSpec("445.gobmk", 29.60, "mixed", 150_000, 0.30),
+        WorkloadSpec("456.hmmer", 4.53, "working_set", 6_000, 0.40,
+                     (("hot_lines", 448), ("cold_lines", 150_000), ("cold_fraction", 0.6))),
+        WorkloadSpec("458.sjeng", 110.99, "pointer_chase", 500_000, 0.25),
+        WorkloadSpec("462.libquantum", 18.27, "streaming", 200_000, 0.25),
+        WorkloadSpec("464.h264ref", 19.74, "mixed", 100_000, 0.35),
+        WorkloadSpec("471.omnetpp", 7.84, "zipf", 250_000, 0.30, (("alpha", 0.8),)),
+        WorkloadSpec("483.xalancbmk", 8.99, "zipf", 200_000, 0.30, (("alpha", 0.9),)),
+        WorkloadSpec("444.namd", 8.08, "streaming", 90_000, 0.20),
+        WorkloadSpec("453.povray", 6.12, "working_set", 6_000, 0.25,
+                     (("hot_lines", 448), ("cold_lines", 100_000), ("cold_fraction", 0.7))),
+        WorkloadSpec("470.lbm", 18.38, "streaming", 300_000, 0.45),
+        WorkloadSpec("482.sphinx3", 17.51, "zipf", 300_000, 0.30, (("alpha", 0.7),)),
+    ]
+}
+
+_GENERATORS: Dict[str, Callable[..., Trace]] = {
+    "streaming": tracegen.streaming_trace,
+    "pointer_chase": tracegen.pointer_chase_trace,
+    "working_set": tracegen.working_set_trace,
+    "zipf": tracegen.zipf_trace,
+    "mixed": tracegen.mixed_trace,
+}
+
+
+def _generate_addresses(spec: WorkloadSpec, references: int, seed: int) -> Trace:
+    """Raw address stream for a spec (gaps placeholder, calibrated later)."""
+    generator = _GENERATORS[spec.pattern]
+    kwargs = dict(spec.pattern_kwargs)
+    if spec.pattern == "working_set":
+        kwargs.setdefault("hot_lines", spec.footprint_lines)
+        return generator(
+            spec.name, references,
+            mean_gap=0, write_fraction=spec.write_fraction, seed=seed, **kwargs,
+        )
+    return generator(
+        spec.name, references,
+        footprint_lines=spec.footprint_lines,
+        mean_gap=0, write_fraction=spec.write_fraction, seed=seed, **kwargs,
+    )
+
+
+def measure_llc_misses(trace: Trace) -> int:
+    """LLC misses of a trace through the paper's L1/L2 hierarchy."""
+    hierarchy = CacheHierarchy(L1D_CONFIG, L2_CONFIG)
+    misses = 0
+    for op in trace:
+        llc_miss, _ = hierarchy.access(op.address, op.is_write)
+        if llc_miss:
+            misses += 1
+    return misses
+
+
+def spec_workload(
+    name: str,
+    references: int = 20_000,
+    seed: int = 7,
+    target_mpki: Optional[float] = None,
+) -> Trace:
+    """Build the calibrated trace for one Table-4 workload.
+
+    The address stream is measured through the cache hierarchy and the
+    instruction gaps are sized so the LLC MPKI lands on the paper's value
+    (or ``target_mpki`` if given).  Raises ``KeyError`` for unknown names.
+    """
+    spec = SPEC_WORKLOADS[name]
+    target = target_mpki if target_mpki is not None else spec.mpki
+    raw = _generate_addresses(spec, references, seed)
+    misses = measure_llc_misses(raw)
+    if misses == 0:
+        # Degenerate (tiny trace fitting entirely in cache): keep zero gaps.
+        return raw
+    # MPKI = 1000 * misses / instructions; instructions = sum(gaps) + refs.
+    needed_instructions = 1000.0 * misses / target
+    mean_gap = max(0.0, (needed_instructions - references) / references)
+    rng = DeterministicRNG(seed).substream(f"gaps-{name}")
+    ops = [
+        MemoryOp(_jittered_gap(rng, mean_gap), op.address, op.is_write)
+        for op in raw
+    ]
+    return Trace(spec.name, ops)
+
+
+def _jittered_gap(rng: DeterministicRNG, mean_gap: float) -> int:
+    """Integer gap with +/-50% jitter whose expectation is ``mean_gap``."""
+    if mean_gap <= 0:
+        return 0
+    sample = mean_gap * (0.5 + rng.random())
+    floor = int(sample)
+    # Stochastic rounding keeps the expectation exact despite truncation.
+    return floor + (1 if rng.random() < (sample - floor) else 0)
+
+
+def all_workload_names() -> list:
+    """Table-4 workload names in table order."""
+    return list(SPEC_WORKLOADS)

@@ -1,0 +1,131 @@
+"""Synthetic address-stream generators.
+
+Each generator produces a :class:`~repro.workloads.trace.Trace` with a
+controllable miss behaviour through the L1/L2 hierarchy:
+
+* :func:`streaming_trace` — sequential sweep, almost every line is a
+  compulsory miss (lbm/libquantum-like).
+* :func:`pointer_chase_trace` — uniform random hops over a large footprint,
+  misses dominated by capacity (mcf-like).
+* :func:`working_set_trace` — hot set that fits in cache plus a cold tail
+  (gcc/povray-like low MPKI).
+* :func:`zipf_trace` — Zipf-skewed popularity (databases, xalancbmk-like).
+* :func:`mixed_trace` — phases alternating the above (h264ref-like).
+
+The ``gap`` (non-memory instructions between references) is drawn around a
+target so a desired MPKI can be calibrated by
+:mod:`repro.workloads.spec`.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import DeterministicRNG
+from repro.workloads.trace import Trace
+
+LINE = 64
+
+
+def _gap(rng: DeterministicRNG, mean_gap: float) -> int:
+    """Instruction gap jittered +/-50% around the mean."""
+    if mean_gap <= 0:
+        return 0
+    low = max(0, int(mean_gap * 0.5))
+    high = max(low, int(mean_gap * 1.5))
+    return rng.randint(low, high)
+
+
+def streaming_trace(
+    name: str,
+    references: int,
+    footprint_lines: int,
+    mean_gap: float = 3.0,
+    write_fraction: float = 0.3,
+    seed: int = 7,
+) -> Trace:
+    """Sequential sweep over ``footprint_lines`` lines, wrapping around."""
+    rng = DeterministicRNG(seed).substream(f"stream-{name}")
+    trace = Trace(name)
+    for i in range(references):
+        line = i % max(1, footprint_lines)
+        trace.append(_gap(rng, mean_gap), line * LINE, rng.random() < write_fraction)
+    return trace
+
+
+def pointer_chase_trace(
+    name: str,
+    references: int,
+    footprint_lines: int,
+    mean_gap: float = 10.0,
+    write_fraction: float = 0.2,
+    seed: int = 7,
+) -> Trace:
+    """Uniform random line accesses over the footprint."""
+    rng = DeterministicRNG(seed).substream(f"chase-{name}")
+    trace = Trace(name)
+    for _ in range(references):
+        line = rng.randrange(max(1, footprint_lines))
+        trace.append(_gap(rng, mean_gap), line * LINE, rng.random() < write_fraction)
+    return trace
+
+
+def working_set_trace(
+    name: str,
+    references: int,
+    hot_lines: int,
+    cold_lines: int,
+    cold_fraction: float = 0.05,
+    mean_gap: float = 20.0,
+    write_fraction: float = 0.3,
+    seed: int = 7,
+) -> Trace:
+    """Mostly-hot working set with an occasional cold excursion."""
+    rng = DeterministicRNG(seed).substream(f"ws-{name}")
+    trace = Trace(name)
+    for _ in range(references):
+        if rng.random() < cold_fraction:
+            line = hot_lines + rng.randrange(max(1, cold_lines))
+        else:
+            line = rng.randrange(max(1, hot_lines))
+        trace.append(_gap(rng, mean_gap), line * LINE, rng.random() < write_fraction)
+    return trace
+
+
+def zipf_trace(
+    name: str,
+    references: int,
+    footprint_lines: int,
+    alpha: float = 0.9,
+    mean_gap: float = 15.0,
+    write_fraction: float = 0.25,
+    seed: int = 7,
+) -> Trace:
+    """Zipf(alpha)-skewed line popularity."""
+    rng = DeterministicRNG(seed).substream(f"zipf-{name}")
+    trace = Trace(name)
+    for _ in range(references):
+        line = rng.zipf_index(max(1, footprint_lines), alpha)
+        trace.append(_gap(rng, mean_gap), line * LINE, rng.random() < write_fraction)
+    return trace
+
+
+def mixed_trace(
+    name: str,
+    references: int,
+    footprint_lines: int,
+    phase_length: int = 512,
+    mean_gap: float = 12.0,
+    write_fraction: float = 0.3,
+    seed: int = 7,
+) -> Trace:
+    """Alternating streaming and random phases over a shared footprint."""
+    rng = DeterministicRNG(seed).substream(f"mixed-{name}")
+    trace = Trace(name)
+    cursor = 0
+    for i in range(references):
+        if (i // max(1, phase_length)) % 2 == 0:
+            cursor = (cursor + 1) % max(1, footprint_lines)
+            line = cursor
+        else:
+            line = rng.randrange(max(1, footprint_lines))
+        trace.append(_gap(rng, mean_gap), line * LINE, rng.random() < write_fraction)
+    return trace

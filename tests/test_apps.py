@@ -1,0 +1,220 @@
+"""Tests for the application layer: oblivious KV store and queue."""
+
+import pytest
+
+from repro.apps.kvstore import ObliviousKVStore, StoreFullError
+from repro.apps.queue import ObliviousQueue, QueueEmptyError, QueueFullError
+from repro.config import small_config
+from repro.core.variants import build_variant
+from repro.errors import SimulatedCrash
+from repro.util.rng import DeterministicRNG
+
+
+def _store(height=8, buckets=32, variant="ps"):
+    controller = build_variant(variant, small_config(height=height, seed=21))
+    return ObliviousKVStore(controller, directory_buckets=buckets)
+
+
+class TestKVStoreBasics:
+    def test_put_get(self):
+        store = _store()
+        store.put("alpha", b"first value")
+        assert store.get("alpha") == b"first value"
+
+    def test_missing_key(self):
+        store = _store()
+        with pytest.raises(KeyError):
+            store.get("ghost")
+        assert "ghost" not in store
+
+    def test_overwrite(self):
+        store = _store()
+        store.put("k", b"v1")
+        store.put("k", b"v2-longer-value")
+        assert store.get("k") == b"v2-longer-value"
+
+    def test_multiblock_values(self):
+        store = _store()
+        big = bytes(range(256)) * 3  # 768 bytes -> 13 chunks
+        store.put("big", big)
+        assert store.get("big") == big
+
+    def test_empty_value(self):
+        store = _store()
+        store.put("empty", b"")
+        assert store.get("empty") == b""
+
+    def test_delete(self):
+        store = _store()
+        store.put("k", b"v")
+        free_before = store.free_blocks
+        store.delete("k")
+        assert "k" not in store
+        assert store.free_blocks == free_before + 1
+        with pytest.raises(KeyError):
+            store.delete("k")
+
+    def test_space_reclaimed_on_overwrite(self):
+        store = _store()
+        store.put("k", b"x" * 200)  # 4 blocks
+        baseline = store.free_blocks
+        store.put("k", b"y" * 200)
+        assert store.free_blocks == baseline  # old chunks reclaimed
+
+    def test_many_keys(self):
+        store = _store(height=9, buckets=64)
+        rng = DeterministicRNG(3)
+        model = {}
+        for i in range(60):
+            key = f"key-{rng.randrange(40)}"
+            value = bytes([i % 256]) * rng.randint(1, 100)
+            store.put(key, value)
+            model[key] = value
+        for key, value in model.items():
+            assert store.get(key) == value
+
+    def test_bucket_overflow_reported(self):
+        # 1-bucket directory: the 5th key must fail loudly.
+        store = _store(buckets=1)
+        for i in range(4):
+            store.put(f"k{i}", b"v")
+        with pytest.raises(StoreFullError):
+            store.put("k4", b"v")
+
+    def test_fingerprints_enumerable(self):
+        store = _store()
+        store.put("a", b"1")
+        store.put("b", b"2")
+        assert len(list(store.keys_fingerprints())) == 2
+
+
+class TestKVStoreCrash:
+    def test_acknowledged_puts_survive(self):
+        store = _store()
+        rng = DeterministicRNG(4)
+        model = {}
+        for i in range(30):
+            key = f"doc-{rng.randrange(15)}"
+            value = bytes([i]) * rng.randint(1, 120)
+            store.put(key, value)
+            model[key] = value
+        store.crash()
+        assert store.recover()
+        for key, value in model.items():
+            assert store.get(key) == value
+
+    def test_interrupted_put_is_atomic(self):
+        store = _store()
+        store.put("victim", b"old-value")
+        controller = store._oram
+        fired = []
+
+        def hook(label):
+            # Crash inside one of the chunk/directory ORAM accesses.
+            if label == "step5:after-end" and len(fired) < 1:
+                fired.append(label)
+                raise SimulatedCrash(label)
+
+        controller.crash_hook = hook
+        try:
+            store.put("victim", b"new-value-" * 10)
+        except SimulatedCrash:
+            pass
+        controller.crash_hook = None
+        store.crash()
+        assert store.recover()
+        assert store.get("victim") in (b"old-value", b"new-value-" * 10)
+
+    def test_allocator_rebuilt_consistently(self):
+        store = _store()
+        store.put("a", b"x" * 200)
+        store.put("b", b"y" * 100)
+        free_before = store.free_blocks
+        store.crash()
+        assert store.recover()
+        assert store.free_blocks == free_before
+        store.put("c", b"z" * 150)  # allocator still functional
+        assert store.get("c") == b"z" * 150
+
+
+class TestQueue:
+    def _queue(self, capacity=8):
+        controller = build_variant("ps", small_config(height=7, seed=22))
+        return ObliviousQueue(controller, base_block=0, capacity=capacity), controller
+
+    def test_fifo_order(self):
+        queue, _ = self._queue()
+        for i in range(5):
+            queue.enqueue(bytes([i]))
+        assert [queue.dequeue()[0] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len_and_peek(self):
+        queue, _ = self._queue()
+        assert len(queue) == 0
+        assert queue.peek() is None
+        queue.enqueue(b"x")
+        assert len(queue) == 1
+        assert queue.peek() == b"x"
+        assert len(queue) == 1  # peek does not consume
+
+    def test_wraparound(self):
+        queue, _ = self._queue(capacity=3)
+        for round_no in range(4):
+            for i in range(3):
+                queue.enqueue(bytes([round_no, i]))
+            for i in range(3):
+                assert queue.dequeue() == bytes([round_no, i])
+
+    def test_full_and_empty_errors(self):
+        queue, _ = self._queue(capacity=2)
+        queue.enqueue(b"a")
+        queue.enqueue(b"b")
+        with pytest.raises(QueueFullError):
+            queue.enqueue(b"c")
+        queue.dequeue()
+        queue.dequeue()
+        with pytest.raises(QueueEmptyError):
+            queue.dequeue()
+
+    def test_item_size_limit(self):
+        queue, _ = self._queue()
+        with pytest.raises(ValueError):
+            queue.enqueue(b"x" * 63)
+
+    def test_crash_preserves_queue(self):
+        queue, controller = self._queue()
+        queue.enqueue(b"one")
+        queue.enqueue(b"two")
+        queue.dequeue()
+        controller.crash()
+        assert controller.recover()
+        assert len(queue) == 1
+        assert queue.dequeue() == b"two"
+
+    def test_interrupted_enqueue_atomic(self):
+        queue, controller = self._queue()
+        queue.enqueue(b"stable")
+        fired = []
+
+        def hook(label):
+            if label == "step5:after-end" and not fired:
+                fired.append(label)
+                raise SimulatedCrash(label)
+
+        controller.crash_hook = hook
+        try:
+            queue.enqueue(b"maybe")
+        except SimulatedCrash:
+            pass
+        controller.crash_hook = None
+        controller.crash()
+        assert controller.recover()
+        assert len(queue) in (1, 2)
+        assert queue.dequeue() == b"stable"
+
+    def test_epoch_monotone(self):
+        queue, _ = self._queue()
+        e1 = queue.enqueue(b"a")
+        e2 = queue.enqueue(b"b")
+        assert e2 > e1
+        assert queue.epoch == e2

@@ -1,0 +1,116 @@
+"""Unit tests for the tree index math."""
+
+import pytest
+
+from repro.util.bitops import (
+    bucket_index,
+    bucket_level,
+    buckets_in_tree,
+    leaf_count,
+    lowest_common_level,
+    path_bucket_indices,
+    path_intersects_bucket,
+)
+
+
+class TestLeafAndBucketCounts:
+    def test_leaf_count(self):
+        assert leaf_count(0) == 1
+        assert leaf_count(3) == 8
+        assert leaf_count(23) == 1 << 23
+
+    def test_buckets_in_tree(self):
+        assert buckets_in_tree(0) == 1
+        assert buckets_in_tree(3) == 15
+        assert buckets_in_tree(23) == (1 << 24) - 1
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            leaf_count(-1)
+        with pytest.raises(ValueError):
+            buckets_in_tree(-2)
+
+
+class TestBucketIndex:
+    def test_root_is_zero_for_every_path(self):
+        for path in range(8):
+            assert bucket_index(path, 0, 3) == 0
+
+    def test_leaf_row(self):
+        # Height 3: leaves occupy indices 7..14 in level order.
+        for path in range(8):
+            assert bucket_index(path, 3, 3) == 7 + path
+
+    def test_parent_child_relation(self):
+        height = 6
+        for path in (0, 13, 63):
+            for level in range(height):
+                parent = bucket_index(path, level, height)
+                child = bucket_index(path, level + 1, height)
+                assert (child - 1) // 2 == parent
+
+    def test_out_of_range_level(self):
+        with pytest.raises(ValueError):
+            bucket_index(0, 4, 3)
+
+    def test_out_of_range_path(self):
+        with pytest.raises(ValueError):
+            bucket_index(8, 1, 3)
+
+
+class TestBucketLevel:
+    def test_levels(self):
+        assert bucket_level(0) == 0
+        assert bucket_level(1) == 1
+        assert bucket_level(2) == 1
+        assert bucket_level(3) == 2
+        assert bucket_level(14) == 3
+
+    def test_inverse_of_bucket_index(self):
+        height = 5
+        for path in range(0, 32, 5):
+            for level in range(height + 1):
+                assert bucket_level(bucket_index(path, level, height)) == level
+
+
+class TestPathHelpers:
+    def test_path_bucket_indices_root_first(self):
+        indices = path_bucket_indices(5, 3)
+        assert indices[0] == 0
+        assert len(indices) == 4
+        assert indices == sorted(indices)
+
+    def test_path_intersects_bucket(self):
+        height = 3
+        for path in range(8):
+            for index in path_bucket_indices(path, height):
+                assert path_intersects_bucket(path, index, height)
+        # Leaf 0's leaf bucket is not on leaf 7's path.
+        assert not path_intersects_bucket(7, 7, height)
+
+
+class TestLowestCommonLevel:
+    def test_identical_paths_share_everything(self):
+        assert lowest_common_level(5, 5, 3) == 3
+
+    def test_opposite_halves_share_only_root(self):
+        assert lowest_common_level(0, 7, 3) == 0
+
+    def test_adjacent_leaves(self):
+        # Leaves 0 and 1 differ only in the last bit: share down to level 2.
+        assert lowest_common_level(0, 1, 3) == 2
+
+    def test_symmetry(self):
+        for a in range(16):
+            for b in range(16):
+                assert lowest_common_level(a, b, 4) == lowest_common_level(b, a, 4)
+
+    def test_consistent_with_bucket_index(self):
+        height = 4
+        for a in range(16):
+            for b in range(16):
+                lcl = lowest_common_level(a, b, height)
+                for level in range(lcl + 1):
+                    assert bucket_index(a, level, height) == bucket_index(b, level, height)
+                if lcl < height:
+                    assert bucket_index(a, lcl + 1, height) != bucket_index(b, lcl + 1, height)

@@ -1,0 +1,109 @@
+"""Unit tests for configuration validation and derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    NVMTimingConfig,
+    ORAMConfig,
+    PCM_TIMING,
+    STTRAM_TIMING,
+    SystemConfig,
+    WPQConfig,
+    paper_config,
+    small_config,
+)
+from repro.errors import ConfigError
+
+
+class TestNVMTiming:
+    def test_paper_pcm_parameters(self):
+        assert PCM_TIMING.t_rcd == 48
+        assert PCM_TIMING.t_wp == 60
+        assert PCM_TIMING.freq_hz == 400e6
+
+    def test_paper_stt_parameters(self):
+        assert STTRAM_TIMING.t_rcd == 14
+        assert STTRAM_TIMING.t_wp == 14
+
+    def test_latencies(self):
+        assert PCM_TIMING.read_latency_cycles == 49
+        assert PCM_TIMING.write_latency_cycles == 67
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(PCM_TIMING, capacity_bytes=0).validate()
+
+
+class TestCacheConfig:
+    def test_paper_l2_geometry(self):
+        cfg = CacheConfig()
+        assert cfg.num_sets == 2048
+        assert cfg.num_lines == 16384
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=3).validate()
+
+
+class TestORAMConfig:
+    def test_paper_defaults(self):
+        cfg = ORAMConfig()
+        assert cfg.height == 23
+        assert cfg.z == 4
+        assert cfg.path_blocks == 96
+        assert cfg.stash_capacity == 200
+        assert cfg.temp_posmap_capacity == 96
+
+    def test_capacity_math(self):
+        cfg = ORAMConfig(height=3, z=2, stash_capacity=16)
+        assert cfg.num_leaves == 8
+        assert cfg.num_buckets == 15
+        assert cfg.total_slots == 30
+        assert cfg.num_logical_blocks == 15  # 50% utilization
+        assert cfg.tree_bytes == 30 * 64
+
+    def test_stash_must_hold_one_path(self):
+        with pytest.raises(ConfigError):
+            ORAMConfig(height=10, z=4, stash_capacity=10).validate()
+
+    def test_bad_utilization(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(ORAMConfig(), utilization=0.0).validate()
+
+
+class TestSystemConfig:
+    def test_paper_config_validates(self):
+        paper_config().validate()
+
+    def test_small_config_validates(self):
+        small_config(height=6).validate()
+
+    def test_tree_must_fit_nvm(self):
+        cfg = SystemConfig(
+            nvm=dataclasses.replace(PCM_TIMING, capacity_bytes=1 << 20)
+        )
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_block_must_match_line(self):
+        cfg = small_config(height=6)
+        bad = cfg.replace(oram=dataclasses.replace(cfg.oram, block_bytes=128))
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_replace_returns_copy(self):
+        cfg = small_config(height=6)
+        other = cfg.replace(channels=4)
+        assert cfg.channels == 1
+        assert other.channels == 4
+
+    def test_wpq_validation(self):
+        with pytest.raises(ConfigError):
+            WPQConfig(data_entries=0).validate()
+
+    def test_small_config_custom_wpq(self):
+        cfg = small_config(height=6, wpq=WPQConfig(data_entries=4, posmap_entries=4))
+        assert cfg.wpq.data_entries == 4

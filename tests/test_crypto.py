@@ -1,0 +1,103 @@
+"""Unit tests for the PRF, counter-mode cipher and timed engine."""
+
+import pytest
+
+from repro.crypto.ctr import CtrCipher, IntegrityError
+from repro.crypto.engine import CryptoEngine
+from repro.crypto.prf import Prf
+
+
+class TestPrf:
+    def test_deterministic(self):
+        prf = Prf(b"key")
+        assert prf.evaluate(b"msg") == prf.evaluate(b"msg")
+
+    def test_message_sensitivity(self):
+        prf = Prf(b"key")
+        assert prf.evaluate(b"msg") != prf.evaluate(b"msh")
+
+    def test_key_sensitivity(self):
+        assert Prf(b"k1").evaluate(b"m") != Prf(b"k2").evaluate(b"m")
+
+    def test_digest_size(self):
+        assert len(Prf(b"k", digest_size=20).evaluate(b"m")) == 20
+
+    def test_keystream_prefix_property(self):
+        prf = Prf(b"k")
+        long = prf.keystream(b"nonce", 100)
+        short = prf.keystream(b"nonce", 40)
+        assert long[:40] == short
+
+    def test_keystream_nonce_sensitivity(self):
+        prf = Prf(b"k")
+        assert prf.keystream(b"a", 32) != prf.keystream(b"b", 32)
+
+    def test_derive_domain_separation(self):
+        prf = Prf(b"k")
+        assert prf.derive("enc").evaluate(b"m") != prf.derive("mac").evaluate(b"m")
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            Prf(b"")
+
+    def test_rejects_bad_digest_size(self):
+        with pytest.raises(ValueError):
+            Prf(b"k", digest_size=0)
+
+
+class TestCtrCipher:
+    def test_roundtrip(self):
+        cipher = CtrCipher(b"key")
+        plain = b"attack at dawn" * 4
+        assert cipher.decrypt(cipher.encrypt(plain, iv=9), iv=9) == plain
+
+    def test_distinct_ivs_distinct_ciphertexts(self):
+        cipher = CtrCipher(b"key")
+        assert cipher.encrypt(b"same", 1) != cipher.encrypt(b"same", 2)
+
+    def test_wrong_iv_detected(self):
+        cipher = CtrCipher(b"key")
+        ct = cipher.encrypt(b"secret", 1)
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(ct, 2)
+
+    def test_tamper_detected(self):
+        cipher = CtrCipher(b"key")
+        ct = bytearray(cipher.encrypt(b"secret", 1))
+        ct[0] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bytes(ct), 1)
+
+    def test_truncated_ciphertext_detected(self):
+        cipher = CtrCipher(b"key")
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(b"abc", 1)
+
+    def test_ciphertext_length(self):
+        cipher = CtrCipher(b"key")
+        assert len(cipher.encrypt(b"x" * 64, 1)) == cipher.ciphertext_length(64)
+
+    def test_empty_plaintext(self):
+        cipher = CtrCipher(b"key")
+        assert cipher.decrypt(cipher.encrypt(b"", 1), 1) == b""
+
+
+class TestCryptoEngine:
+    def test_counts_operations(self):
+        engine = CryptoEngine(b"key")
+        engine.encrypt(b"data", 1)
+        engine.decrypt(engine.encrypt(b"data", 2), 2)
+        assert engine.stats.get("encrypt_ops") == 2
+        assert engine.stats.get("decrypt_ops") == 1
+
+    def test_batch_latency_pipeline(self):
+        engine = CryptoEngine(b"key", aes_latency_cycles=32, pipeline_interval=1)
+        assert engine.batch_latency_cycles(0) == 0
+        assert engine.batch_latency_cycles(1) == 32
+        assert engine.batch_latency_cycles(96) == 32 + 95
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CryptoEngine(b"key", aes_latency_cycles=-1)
+        with pytest.raises(ValueError):
+            CryptoEngine(b"key", pipeline_interval=0)

@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BlockNotFoundError,
+    ConfigError,
+    ConsistencyViolation,
+    CrashError,
+    InvalidAddressError,
+    MemoryModelError,
+    ORAMError,
+    PersistenceError,
+    RecoveryError,
+    ReproError,
+    SimulatedCrash,
+    StashOverflowError,
+    TraceFormatError,
+    WPQOverflowError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigError,
+            ORAMError,
+            StashOverflowError,
+            BlockNotFoundError,
+            InvalidAddressError,
+            MemoryModelError,
+            WPQOverflowError,
+            PersistenceError,
+            CrashError,
+            SimulatedCrash,
+            RecoveryError,
+            ConsistencyViolation,
+            TraceFormatError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        if exc is SimulatedCrash:
+            instance = exc("somewhere")
+        else:
+            instance = exc("message")
+        assert isinstance(instance, ReproError)
+
+    def test_oram_suberrors(self):
+        assert issubclass(StashOverflowError, ORAMError)
+        assert issubclass(InvalidAddressError, ORAMError)
+
+    def test_memory_suberrors(self):
+        assert issubclass(WPQOverflowError, MemoryModelError)
+        assert issubclass(PersistenceError, MemoryModelError)
+
+    def test_simulated_crash_carries_point(self):
+        crash = SimulatedCrash("step5:before-end")
+        assert crash.point == "step5:before-end"
+        assert "step5:before-end" in str(crash)
+
+    def test_catch_all_at_boundary(self):
+        """Client code can use one except clause for the whole library."""
+        try:
+            raise WPQOverflowError("full")
+        except ReproError as caught:
+            assert "full" in str(caught)

@@ -1,0 +1,37 @@
+"""Tests for the crash-fuzzing campaign driver."""
+
+import pytest
+
+from repro.crashsim.fuzzer import main, run_campaign
+
+
+class TestCampaign:
+    @pytest.mark.parametrize("variant", ["ps", "naive-ps", "rcr-ps", "ring-ps"])
+    def test_campaign_consistent(self, variant):
+        result = run_campaign(variant=variant, rounds=6, seed=3)
+        assert result.consistent, result.violations
+        assert result.operations > 0
+
+    def test_mid_access_crashes_actually_fire(self):
+        result = run_campaign(variant="ps", rounds=12, seed=3)
+        assert result.crashes_fired >= result.rounds // 2
+
+    def test_small_wpq_campaign(self):
+        result = run_campaign(variant="ps", rounds=6, seed=3, small_wpq=True)
+        assert result.consistent, result.violations
+
+    def test_deterministic(self):
+        a = run_campaign(variant="ps", rounds=5, seed=7)
+        b = run_campaign(variant="ps", rounds=5, seed=7)
+        assert a.crashes_fired == b.crashes_fired
+        assert a.operations == b.operations
+
+
+class TestCLI:
+    def test_exit_zero_on_consistent(self, capsys):
+        assert main(["--variant", "ps", "--rounds", "4"]) == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            main(["--variant", "baseline"])  # not crash-consistent: refused

@@ -1,0 +1,160 @@
+"""Functional and protocol tests for the baseline Path ORAM controller."""
+
+import pytest
+
+from repro.config import small_config
+from repro.errors import InvalidAddressError
+from repro.oram.controller import PathORAMController
+from repro.util.rng import DeterministicRNG
+
+
+@pytest.fixture
+def oram():
+    return PathORAMController(small_config(height=6, seed=5))
+
+
+class TestFunctionalCorrectness:
+    def test_write_read_roundtrip(self, oram):
+        oram.write(3, b"hello")
+        assert oram.read(3).data.rstrip(b"\x00") == b"hello"
+
+    def test_never_written_reads_zero(self, oram):
+        assert oram.read(9).data == bytes(64)
+        assert oram.stats.get("cold_misses") >= 1
+
+    def test_overwrite(self, oram):
+        oram.write(3, b"first")
+        oram.write(3, b"second")
+        assert oram.read(3).data.rstrip(b"\x00") == b"second"
+
+    def test_many_addresses(self, oram):
+        rng = DeterministicRNG(1)
+        model = {}
+        for i in range(400):
+            addr = rng.randrange(100)
+            if rng.random() < 0.5:
+                value = bytes([i % 256]) * 4
+                oram.write(addr, value)
+                model[addr] = value + bytes(60)
+            else:
+                assert oram.read(addr).data == model.get(addr, bytes(64))
+
+    def test_full_payload(self, oram):
+        payload = bytes(range(64))
+        oram.write(0, payload)
+        assert oram.read(0).data == payload
+
+    def test_oversized_payload_rejected(self, oram):
+        with pytest.raises(ValueError):
+            oram.write(0, b"x" * 65)
+
+    def test_address_bounds(self, oram):
+        with pytest.raises(InvalidAddressError):
+            oram.read(oram.oram_config.num_logical_blocks)
+
+    def test_read_with_data_rejected(self, oram):
+        with pytest.raises(ValueError):
+            oram.access(0, is_write=False, data=b"x")
+
+    def test_write_without_data_rejected(self, oram):
+        with pytest.raises(ValueError):
+            oram.access(0, is_write=True)
+
+
+class TestReadModifyWrite:
+    def test_mutator_applies(self, oram):
+        oram.write(1, b"\x01" + bytes(63))
+        result = oram.read_modify_write(1, lambda old: bytes([old[0] + 1]) + old[1:])
+        assert result.data[0] == 1  # returns pre-mutation content
+        assert oram.read(1).data[0] == 2
+
+    def test_mutator_and_data_exclusive(self, oram):
+        with pytest.raises(ValueError):
+            oram.access(0, is_write=True, data=b"x", mutator=lambda d: d)
+
+
+class TestProtocolShape:
+    def test_access_touches_exactly_one_path_each_way(self, oram):
+        before_r = oram.traffic.total_reads
+        before_w = oram.traffic.total_writes
+        oram.write(5, b"v")
+        slots = oram.oram_config.path_blocks
+        assert oram.traffic.total_reads - before_r == slots
+        assert oram.traffic.total_writes - before_w == slots
+
+    def test_remap_changes_path(self, oram):
+        result1 = oram.write(5, b"v")
+        # The new path becomes the old path of the next access (if no
+        # stash hit short-circuits it).
+        if not result1.stash_hit:
+            assert 0 <= result1.new_path < oram.oram_config.num_leaves
+
+    def test_stash_hit_short_circuits_memory(self, oram):
+        from repro.oram.block import Block
+        from repro.oram.stash import StashEntry
+
+        label = oram.posmap.get(5)
+        oram.stash.add(
+            StashEntry(Block(address=5, path_id=label, data=bytes(64)), dirty=True)
+        )
+        before = oram.traffic.total_reads
+        result = oram.read(5)
+        assert result.stash_hit
+        assert oram.traffic.total_reads == before
+
+    def test_clock_advances(self, oram):
+        before = oram.now
+        oram.write(5, b"v")
+        assert oram.now > before
+
+    def test_stash_invariant_blocks_on_assigned_paths(self, oram):
+        """Every tree-resident live block sits on the path its header names."""
+        rng = DeterministicRNG(2)
+        for i in range(100):
+            oram.write(rng.randrange(60), bytes([i % 256]))
+        from repro.util.bitops import path_intersects_bucket
+
+        height = oram.tree.height
+        for bucket_idx in range(oram.tree.region.num_buckets):
+            for block in oram.tree.load_bucket(bucket_idx).blocks:
+                if block.is_dummy:
+                    continue
+                assert path_intersects_bucket(block.path_id, bucket_idx, height), (
+                    f"block {block.address} labelled {block.path_id} sits in "
+                    f"bucket {bucket_idx} which is off its path"
+                )
+
+    def test_no_duplicate_live_blocks_in_tree(self, oram):
+        """At most one copy per address matches the current PosMap."""
+        rng = DeterministicRNG(3)
+        for i in range(150):
+            oram.write(rng.randrange(50), bytes([i % 256]))
+        live_seen = {}
+        for bucket_idx in range(oram.tree.region.num_buckets):
+            for block in oram.tree.load_bucket(bucket_idx).blocks:
+                if block.is_dummy:
+                    continue
+                if block.path_id != oram.posmap.get(block.address):
+                    continue  # stale copy, invisible to the protocol
+                if oram.stash.find(block.address) is not None:
+                    continue  # stash holds the live copy
+                previous = live_seen.get(block.address)
+                if previous is not None:
+                    # Two matching copies: versions must disambiguate.
+                    assert previous != block.version
+                live_seen[block.address] = block.version
+
+
+class TestCrashBehaviour:
+    def test_baseline_loses_data_on_crash(self, oram):
+        """The Section-3.3 failure: baseline cannot recover."""
+        oram.write(3, b"precious")
+        oram.crash()
+        assert not oram.recover()
+        assert not oram.supports_crash_consistency()
+
+    def test_crash_clears_volatile_state(self, oram):
+        oram.write(3, b"x")
+        oram.crash()
+        assert oram.stash.occupancy == 0
+        assert not dict(oram.posmap.modified_entries())

@@ -1,0 +1,136 @@
+"""Tests for the PosMap Lookaside Buffer and its recursive-ORAM wiring."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import small_config
+from repro.core.recursive_ps import RcrPSORAMController
+from repro.mem.request import RequestKind
+from repro.oram.plb import PosMapLookasideBuffer
+from repro.oram.recursive import RecursivePathORAM
+from repro.util.rng import DeterministicRNG
+
+
+class TestPLBUnit:
+    def test_hit_miss_accounting(self):
+        plb = PosMapLookasideBuffer(2)
+        assert plb.lookup(1) is None
+        plb.install(1, b"a")
+        assert plb.lookup(1) == b"a"
+        assert plb.hit_rate == 0.5
+
+    def test_lru_eviction_clean(self):
+        plb = PosMapLookasideBuffer(2)
+        plb.install(1, b"a")
+        plb.install(2, b"b")
+        victim = plb.install(3, b"c")
+        assert victim is None  # clean victims vanish silently
+        assert plb.lookup(1) is None
+        assert plb.lookup(2) == b"b"
+
+    def test_dirty_victim_surfaced(self):
+        plb = PosMapLookasideBuffer(1)
+        plb.install(1, b"a")
+        plb.update(1, b"a2")
+        victim = plb.install(2, b"b")
+        assert victim == (1, b"a2")
+
+    def test_lookup_refreshes_lru(self):
+        plb = PosMapLookasideBuffer(2)
+        plb.install(1, b"a")
+        plb.install(2, b"b")
+        plb.lookup(1)  # 2 becomes LRU
+        plb.install(3, b"c")
+        assert plb.lookup(1) == b"a"
+        assert plb.lookup(2) is None
+
+    def test_update_requires_residency(self):
+        with pytest.raises(KeyError):
+            PosMapLookasideBuffer(2).update(1, b"x")
+
+    def test_dirty_blocks_listing(self):
+        plb = PosMapLookasideBuffer(4)
+        plb.install(1, b"a")
+        plb.install(2, b"b", dirty=True)
+        assert plb.dirty_blocks() == [(2, b"b")]
+
+    def test_clear(self):
+        plb = PosMapLookasideBuffer(2)
+        plb.install(1, b"a", dirty=True)
+        plb.clear()
+        assert plb.lookup(1) is None
+        assert plb.dirty_blocks() == []
+
+
+def _plb_config(plb_blocks, height=7, seed=4):
+    config = small_config(height=height, seed=seed)
+    return config.replace(
+        oram=dataclasses.replace(config.oram, plb_blocks=plb_blocks)
+    )
+
+
+class TestRecursiveWithPLB:
+    def test_functional_correctness(self):
+        controller = RecursivePathORAM(_plb_config(16))
+        rng = DeterministicRNG(6)
+        model = {}
+        for i in range(200):
+            addr = rng.randrange(60)
+            if rng.random() < 0.5:
+                value = bytes([i % 256])
+                controller.write(addr, value)
+                model[addr] = value + bytes(63)
+            else:
+                assert controller.read(addr).data == model.get(addr, bytes(64))
+
+    def test_plb_reduces_posmap_traffic(self):
+        rng_a, rng_b = DeterministicRNG(7), DeterministicRNG(7)
+        with_plb = RecursivePathORAM(_plb_config(16))
+        without = RecursivePathORAM(_plb_config(0))
+        for i in range(120):
+            with_plb.write(rng_a.randrange(40), b"v")
+            without.write(rng_b.randrange(40), b"v")
+        reads_with = with_plb.traffic.reads_of(RequestKind.POSMAP)
+        reads_without = without.traffic.reads_of(RequestKind.POSMAP)
+        assert with_plb.plb.hit_rate > 0.3
+        assert reads_with < 0.8 * reads_without
+
+    def test_plb_speeds_up_execution(self):
+        rng_a, rng_b = DeterministicRNG(8), DeterministicRNG(8)
+        with_plb = RecursivePathORAM(_plb_config(16))
+        without = RecursivePathORAM(_plb_config(0))
+        for i in range(120):
+            with_plb.write(rng_a.randrange(40), b"v")
+            without.write(rng_b.randrange(40), b"v")
+        assert with_plb.now < without.now
+
+    def test_architectural_consistency_with_plb(self):
+        controller = RecursivePathORAM(_plb_config(8))
+        rng = DeterministicRNG(9)
+        for i in range(150):
+            controller.write(rng.randrange(50), b"v")
+        assert controller.stats.get("posmap_divergence") == 0
+
+    def test_writebacks_happen_on_pressure(self):
+        # A 2-block PLB over a 50-block working set must evict dirty blocks.
+        controller = RecursivePathORAM(_plb_config(2))
+        rng = DeterministicRNG(10)
+        for i in range(100):
+            controller.write(rng.randrange(60), b"v")
+        assert controller.stats.get("plb_writebacks") > 0
+
+    def test_crash_clears_plb(self):
+        controller = RecursivePathORAM(_plb_config(8))
+        controller.write(1, b"x")
+        controller.crash()
+        assert controller.plb.occupancy == 0
+
+
+class TestPLBRefusedByCrashConsistentVariant:
+    def test_rcr_ps_ignores_plb_config(self):
+        controller = RcrPSORAMController(_plb_config(16))
+        assert controller.plb is None
+        # And it still works.
+        controller.write(1, b"x")
+        assert controller.read(1).data.rstrip(b"\x00") == b"x"

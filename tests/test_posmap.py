@@ -1,0 +1,87 @@
+"""Unit tests for the position map (on-chip and persistent views)."""
+
+import pytest
+
+from repro.config import PCM_TIMING, ORAMConfig
+from repro.errors import InvalidAddressError
+from repro.mem.controller import NVMMainMemory
+from repro.oram.layout import MemoryLayout
+from repro.oram.posmap import PersistentPosMapImage, PositionMap
+
+
+@pytest.fixture
+def posmap():
+    return PositionMap(num_entries=64, num_leaves=16, seed_key=b"seed")
+
+
+class TestPositionMap:
+    def test_initial_mapping_deterministic(self, posmap):
+        other = PositionMap(64, 16, b"seed")
+        assert [posmap.get(a) for a in range(64)] == [other.get(a) for a in range(64)]
+
+    def test_initial_mapping_in_range(self, posmap):
+        assert all(0 <= posmap.get(a) < 16 for a in range(64))
+
+    def test_initial_mapping_spreads(self, posmap):
+        leaves = {posmap.get(a) for a in range(64)}
+        assert len(leaves) > 8  # not degenerate
+
+    def test_set_get(self, posmap):
+        posmap.set(3, 11)
+        assert posmap.get(3) == 11
+
+    def test_bounds(self, posmap):
+        with pytest.raises(InvalidAddressError):
+            posmap.get(64)
+        with pytest.raises(InvalidAddressError):
+            posmap.set(-1, 0)
+        with pytest.raises(ValueError):
+            posmap.set(0, 16)
+
+    def test_modified_entries_only(self, posmap):
+        posmap.set(3, 11)
+        posmap.set(9, 2)
+        assert dict(posmap.modified_entries()) == {3: 11, 9: 2}
+
+    def test_clear_restores_initial(self, posmap):
+        initial = posmap.get(3)
+        posmap.set(3, (initial + 1) % 16)
+        posmap.clear()
+        assert posmap.get(3) == initial
+
+    def test_state_roundtrip(self, posmap):
+        posmap.set(5, 9)
+        state = posmap.copy_state()
+        posmap.clear()
+        posmap.load_state(state)
+        assert posmap.get(5) == 9
+
+
+class TestPersistentImage:
+    @pytest.fixture
+    def image(self, posmap):
+        config = ORAMConfig(height=4, z=4, stash_capacity=64)
+        layout = MemoryLayout(config)
+        memory = NVMMainMemory(PCM_TIMING)
+        pm = PositionMap(config.num_logical_blocks, config.num_leaves, b"seed")
+        return PersistentPosMapImage(layout.posmap, memory, pm)
+
+    def test_unwritten_reads_initial(self, image):
+        assert image.read_entry(0) == image._reference.initial_path(0)
+
+    def test_write_read_entry(self, image):
+        image.write_entry(3, 9)
+        assert image.read_entry(3) == 9
+
+    def test_same_line_entries_independent(self, image):
+        image.write_entry(0, 5)
+        image.write_entry(1, 7)
+        assert image.read_entry(0) == 5
+        assert image.read_entry(1) == 7
+        # Entry 2 in the same line stays at initial.
+        assert image.read_entry(2) == image._reference.initial_path(2)
+
+    def test_iter_written_entries(self, image):
+        image.write_entry(3, 9)
+        image.write_entry(20, 1)
+        assert dict(image.iter_written_entries()) == {3: 9, 20: 1}

@@ -1,0 +1,150 @@
+"""Tests for the Ring ORAM substrate (baseline)."""
+
+import pytest
+
+from repro.config import small_config
+from repro.crypto.engine import CryptoEngine
+from repro.ring.controller import RingORAMController, reverse_lexicographic_path
+from repro.ring.metadata import DUMMY_SLOT, BucketMetadata
+from repro.ring.tree import RingLayout, RingParams
+from repro.util.rng import DeterministicRNG
+
+
+class TestRingParams:
+    def test_defaults_valid(self):
+        RingParams().validate()
+
+    def test_slots_per_bucket(self):
+        assert RingParams(z=4, s=6).slots_per_bucket == 10
+
+    def test_dummy_budget_rule(self):
+        with pytest.raises(ValueError):
+            RingParams(z=4, s=2, a=3).validate()
+
+
+class TestMetadata:
+    def test_empty(self):
+        meta = BucketMetadata.empty(4)
+        assert meta.slot_of(7) is None
+        assert meta.fresh_dummy_slot() == 0
+        assert meta.valid_real_slots() == []
+
+    def test_slot_directory(self):
+        meta = BucketMetadata([5, DUMMY_SLOT, 9, DUMMY_SLOT], [False] * 4)
+        assert meta.slot_of(5) == 0
+        assert meta.slot_of(9) == 2
+        assert meta.fresh_dummy_slot() == 1
+        assert meta.valid_real_slots() == [0, 2]
+
+    def test_consume(self):
+        meta = BucketMetadata([5, DUMMY_SLOT], [False, False])
+        meta.consume(0)
+        assert meta.slot_of(5) is None
+        assert meta.accesses == 1
+        with pytest.raises(ValueError):
+            meta.consume(0)
+
+    def test_needs_reshuffle(self):
+        meta = BucketMetadata([DUMMY_SLOT, DUMMY_SLOT], [False, False])
+        assert not meta.needs_reshuffle(max_accesses=2)
+        meta.consume(0)
+        meta.consume(1)
+        assert meta.needs_reshuffle(max_accesses=2)
+
+    def test_encode_decode_roundtrip(self):
+        engine = CryptoEngine(b"meta-key")
+        meta = BucketMetadata([5, DUMMY_SLOT, 9], [True, False, False], accesses=2)
+        wire = meta.encode(engine, iv=42)
+        back = BucketMetadata.decode(wire, engine)
+        assert back.addresses == meta.addresses
+        assert back.consumed == meta.consumed
+        assert back.accesses == 2
+
+
+class TestReverseLexicographic:
+    def test_order_alternates_subtrees(self):
+        paths = [reverse_lexicographic_path(g, 3) for g in range(8)]
+        assert sorted(paths) == list(range(8))  # a permutation
+        # Consecutive evictions go to opposite halves of the tree.
+        assert all((paths[i] < 4) != (paths[i + 1] < 4) for i in range(7))
+
+    def test_height_zero(self):
+        assert reverse_lexicographic_path(5, 0) == 0
+
+
+class TestRingLayout:
+    def test_regions_disjoint(self):
+        layout = RingLayout(small_config(height=5).oram, RingParams())
+        assert layout.metadata_base == layout.slots.size_bytes
+        assert layout.posmap.base > layout.metadata_base
+        assert layout.total_bytes > layout.posmap.base
+
+    def test_metadata_addresses_line_aligned(self):
+        layout = RingLayout(small_config(height=5).oram, RingParams())
+        assert layout.metadata_address(0) % 64 == 0
+        assert layout.metadata_address(1) - layout.metadata_address(0) == 64
+
+
+@pytest.fixture
+def ring():
+    return RingORAMController(small_config(height=6, seed=3))
+
+
+class TestRingFunctional:
+    def test_roundtrip(self, ring):
+        ring.write(3, b"ring")
+        assert ring.read(3).data.rstrip(b"\x00") == b"ring"
+
+    def test_random_workload(self, ring):
+        rng = DeterministicRNG(1)
+        model = {}
+        for i in range(300):
+            addr = rng.randrange(70)
+            if rng.random() < 0.5:
+                value = bytes([i % 256])
+                ring.write(addr, value)
+                model[addr] = value + bytes(63)
+            else:
+                assert ring.read(addr).data == model.get(addr, bytes(64))
+
+    def test_cold_read_zero(self, ring):
+        assert ring.read(9).data == bytes(64)
+
+
+class TestRingProtocolShape:
+    def test_access_reads_one_slot_per_bucket(self, ring):
+        levels = ring.store.height + 1
+        before = ring.traffic.total_reads
+        ring.write(5, b"v")
+        reads = ring.traffic.total_reads - before
+        # metadata + one slot per level on the access path; EvictPath (if
+        # triggered) and reshuffles add more.
+        assert reads >= 2 * levels
+        if ring.stats.get("evict_paths") == 0:
+            assert reads == 2 * levels
+
+    def test_evict_path_every_a_accesses(self, ring):
+        for i in range(3 * ring.params.a):
+            ring.write(i, b"v")
+        assert ring.stats.get("evict_paths") == 3
+
+    def test_reshuffles_eventually_triggered(self, ring):
+        rng = DeterministicRNG(2)
+        for i in range(150):
+            ring.write(rng.randrange(40), b"v")
+        assert ring.stats.get("early_reshuffles") > 0
+
+    def test_dummy_budget_never_negative(self, ring):
+        """After every access, all touched buckets have consistent budgets."""
+        rng = DeterministicRNG(3)
+        for i in range(100):
+            ring.write(rng.randrange(30), b"v")
+        for bucket_idx in range(ring.layout.slots.num_buckets):
+            meta = ring.store.load_metadata(bucket_idx)
+            assert 0 <= meta.accesses <= ring.params.s + 1
+
+    def test_not_crash_consistent(self, ring):
+        ring.write(1, b"x")
+        ring.crash()
+        assert not ring.recover()
+        assert not ring.supports_crash_consistency()

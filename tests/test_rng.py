@@ -1,0 +1,83 @@
+"""Unit tests for the deterministic RNG."""
+
+import pytest
+
+from repro.util.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRNG(42)
+        b = DeterministicRNG(42)
+        assert [a.randrange(100) for _ in range(20)] == [
+            b.randrange(100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = [DeterministicRNG(1).randrange(1000) for _ in range(10)]
+        b = [DeterministicRNG(2).randrange(1000) for _ in range(10)]
+        assert a != b
+
+    def test_substreams_are_independent(self):
+        root = DeterministicRNG(7)
+        s1 = root.substream("remap")
+        # Drawing from the root must not perturb the substream.
+        root.randrange(10)
+        s1_values = [s1.randrange(1000) for _ in range(5)]
+        root2 = DeterministicRNG(7)
+        s1_again = root2.substream("remap")
+        assert s1_values == [s1_again.randrange(1000) for _ in range(5)]
+
+    def test_substreams_by_name_differ(self):
+        root = DeterministicRNG(7)
+        a = root.substream("a").randrange(1 << 30)
+        b = root.substream("b").randrange(1 << 30)
+        assert a != b
+
+
+class TestDistributions:
+    def test_randint_inclusive_bounds(self):
+        rng = DeterministicRNG(3)
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_randbytes_length(self):
+        rng = DeterministicRNG(3)
+        assert len(rng.randbytes(17)) == 17
+        assert rng.randbytes(0) == b""
+
+    def test_geometric_mean_close(self):
+        rng = DeterministicRNG(5)
+        samples = [rng.geometric(0.5) for _ in range(3000)]
+        mean = sum(samples) / len(samples)
+        assert 0.8 < mean < 1.2  # E = (1-p)/p = 1
+
+    def test_geometric_rejects_bad_p(self):
+        rng = DeterministicRNG(5)
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric(1.5)
+
+    def test_zipf_skews_to_low_indices(self):
+        rng = DeterministicRNG(5)
+        samples = [rng.zipf_index(100, 1.2) for _ in range(2000)]
+        head = sum(1 for s in samples if s < 10)
+        tail = sum(1 for s in samples if s >= 90)
+        assert head > 5 * max(tail, 1)
+
+    def test_zipf_in_range(self):
+        rng = DeterministicRNG(5)
+        assert all(0 <= rng.zipf_index(7, 0.8) < 7 for _ in range(200))
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(1).zipf_index(0, 1.0)
+
+    def test_shuffle_and_sample(self):
+        rng = DeterministicRNG(9)
+        items = list(range(10))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert len(rng.sample(items, 4)) == 4

@@ -1,0 +1,182 @@
+"""Security tests: PS-ORAM must not weaken Path ORAM's obliviousness.
+
+Operational checks of the paper's Section 4.6 claims: leaf labels stay
+uniform and uncorrelated, every access has the same bus footprint, and two
+different logical programs are indistinguishable on the bus — while the
+plain (non-ORAM) system visibly leaks.
+"""
+
+import pytest
+
+from repro.config import small_config
+from repro.core.variants import build_variant
+from repro.security.analysis import (
+    access_length_invariance,
+    leaf_autocorrelation,
+    path_uniformity_pvalue,
+    repeated_address_rate,
+    sequence_similarity,
+)
+from repro.security.observer import BusObserver
+from repro.util.rng import DeterministicRNG
+
+
+def _observe(variant, program, seed=3, height=7):
+    config = small_config(height=height, seed=seed)
+    controller = build_variant(variant, config)
+    with BusObserver(controller.memory) as observer:
+        program(controller)
+        return observer.addresses()
+
+
+def _hot_program(controller):
+    for _ in range(60):
+        controller.write(1, b"hot")  # pathological: one hot address
+
+
+def _scan_program(controller):
+    for i in range(60):
+        controller.write(i % 50, b"scan")
+
+
+class TestLeafLabelStatistics:
+    def _labels(self, variant):
+        config = small_config(height=8, seed=2)
+        controller = build_variant(variant, config)
+        rng = DeterministicRNG(5)
+        labels = []
+        for i in range(400):
+            result = controller.write(rng.randrange(200), b"v")
+            if not result.stash_hit:
+                labels.append(result.old_path)
+        return labels, config.oram.num_leaves
+
+    @pytest.mark.parametrize("variant", ["baseline", "ps"])
+    def test_paths_uniform(self, variant):
+        labels, leaves = self._labels(variant)
+        assert path_uniformity_pvalue(labels, leaves) > 0.01
+
+    @pytest.mark.parametrize("variant", ["baseline", "ps"])
+    def test_paths_uncorrelated(self, variant):
+        labels, leaves = self._labels(variant)
+        assert abs(leaf_autocorrelation(labels, leaves)) < 0.15
+
+    def test_hot_address_still_uniform_paths(self):
+        """Repeatedly touching one block must not reveal a hot path."""
+        config = small_config(height=8, seed=2)
+        controller = build_variant("ps", config)
+        labels = []
+        for _ in range(300):
+            result = controller.write(3, b"hot")
+            labels.append(result.old_path)
+        assert path_uniformity_pvalue(labels, config.oram.num_leaves) > 0.01
+
+    def test_stash_hit_writes_never_repeat_a_path(self):
+        """Label graduation: consecutive writes to a stash-resident block
+        read a fresh pending label each time, never the same path twice in
+        a row (the leak the graduation mechanism exists to close)."""
+        from repro.core.controller import PSORAMController
+        from repro.oram.block import Block
+        from repro.oram.stash import StashEntry
+
+        config = small_config(height=8, seed=2)
+        controller = PSORAMController(config)
+        label = controller.posmap.get(5)
+        controller.persistent_posmap.write_entry(5, label)
+        controller.stash.add(
+            StashEntry(
+                Block(address=5, path_id=label, data=bytes(64),
+                      version=controller._next_version()),
+                dirty=True,
+            )
+        )
+        observed = []
+        for i in range(12):
+            result = controller.write(5, bytes([i]))
+            observed.append(result.old_path)
+            if controller.stash.find(5) is None:
+                # Evicted: re-plant to keep forcing the stash-hit path.
+                entry_label = controller._position_of(5)
+                block = None
+                # pull it back via a read (stays a full access) and stop if
+                # it will not stay resident.
+                controller.read(5)
+                if controller.stash.find(5) is None:
+                    break
+        # No immediate repetition of an already-revealed path.
+        repeats = sum(1 for a, b in zip(observed, observed[1:]) if a == b)
+        assert repeats == 0
+
+
+class TestBusFootprint:
+    def test_every_access_same_line_count(self):
+        config = small_config(height=7, seed=2)
+        controller = build_variant("ps", config)
+        controller.write(0, b"warm")  # settle cold effects
+        lengths = []
+        with BusObserver(controller.memory) as observer:
+            for i in range(1, 20):
+                before = len(observer)
+                controller.write(i, b"v")
+                lengths.append(len(observer) - before)
+        # PS-ORAM access footprint varies only by the (dirty-entry) persist
+        # writes; data-path footprint itself is fixed.  Allow that delta.
+        assert max(lengths) - min(lengths) <= 4
+
+    def test_baseline_footprint_exactly_invariant(self):
+        config = small_config(height=7, seed=2)
+        controller = build_variant("baseline", config)
+        controller.write(0, b"warm")
+        lengths = []
+        with BusObserver(controller.memory) as observer:
+            for i in range(1, 20):
+                before = len(observer)
+                controller.write(i, b"v")
+                lengths.append(len(observer) - before)
+        assert access_length_invariance(lengths)
+
+
+class TestProgramIndistinguishability:
+    def test_oram_hides_program_difference(self):
+        """Distance(hot, scan) under ORAM ~ distance(hot, hot') noise."""
+        hot_a = _observe("ps", _hot_program, seed=3)
+        hot_b = _observe("ps", _hot_program, seed=4)
+        scan = _observe("ps", _scan_program, seed=5)
+        noise = sequence_similarity(hot_a, hot_b)
+        signal = sequence_similarity(hot_a, scan)
+        assert signal < noise + 0.1
+
+    def test_plain_memory_leaks_program_difference(self):
+        hot_a = _observe("plain", _hot_program, seed=3)
+        hot_b = _observe("plain", _hot_program, seed=4)
+        scan = _observe("plain", _scan_program, seed=5)
+        noise = sequence_similarity(hot_a, hot_b)
+        signal = sequence_similarity(hot_a, scan)
+        assert signal > noise + 0.3
+
+    def test_repeated_address_rate_exposes_plain_memory(self):
+        hot_plain = _observe("plain", _hot_program)
+        hot_oram = _observe("ps", _hot_program)
+        assert repeated_address_rate(hot_plain, window=4) > 0.5
+        assert repeated_address_rate(hot_oram, window=4) < 0.4  # bus noise only
+
+
+class TestAnalysisPrimitives:
+    def test_uniform_pvalue_reasonable(self):
+        rng = DeterministicRNG(1)
+        samples = [rng.randrange(256) for _ in range(2000)]
+        assert path_uniformity_pvalue(samples, 256) > 0.001
+
+    def test_skewed_pvalue_tiny(self):
+        samples = [0] * 500 + [255] * 10
+        assert path_uniformity_pvalue(samples, 256) < 1e-6
+
+    def test_empty_sequence(self):
+        assert path_uniformity_pvalue([], 16) == 1.0
+
+    def test_similarity_bounds(self):
+        assert sequence_similarity([1, 2], [1, 2]) == 0.0
+        assert sequence_similarity([1, 1], [2, 2]) == 1.0
+
+    def test_autocorrelation_of_constant_is_zero(self):
+        assert leaf_autocorrelation([5, 5, 5, 5], 8) == 0.0

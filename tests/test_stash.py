@@ -1,0 +1,98 @@
+"""Unit tests for the stash."""
+
+import pytest
+
+from repro.errors import StashOverflowError
+from repro.oram.block import Block
+from repro.oram.stash import Stash, StashEntry
+
+
+def _entry(address, path_id=0, backup=False):
+    return StashEntry(
+        Block(address=address, path_id=path_id, data=bytes(64)), is_backup=backup
+    )
+
+
+class TestStashBasics:
+    def test_add_and_find(self):
+        stash = Stash(8)
+        entry = _entry(5)
+        stash.add(entry)
+        assert stash.find(5) is entry
+        assert stash.find(6) is None
+
+    def test_capacity_enforced(self):
+        stash = Stash(2)
+        stash.add(_entry(1))
+        stash.add(_entry(2))
+        with pytest.raises(StashOverflowError):
+            stash.add(_entry(3))
+
+    def test_duplicate_live_address_rejected(self):
+        stash = Stash(8)
+        stash.add(_entry(1))
+        with pytest.raises(ValueError):
+            stash.add(_entry(1))
+
+    def test_remove(self):
+        stash = Stash(8)
+        entry = _entry(1)
+        stash.add(entry)
+        stash.remove(entry)
+        assert stash.find(1) is None
+        assert stash.occupancy == 0
+
+
+class TestBackupEntries:
+    def test_backup_not_indexed_as_live(self):
+        stash = Stash(8)
+        stash.add(_entry(1, backup=True))
+        assert stash.find(1) is None
+
+    def test_live_and_backup_coexist(self):
+        stash = Stash(8)
+        live = _entry(1, path_id=3)
+        backup = _entry(1, path_id=2, backup=True)
+        stash.add(live)
+        stash.add(backup)
+        assert stash.find(1) is live
+        assert stash.occupancy == 2
+        assert stash.backup_entries() == [backup]
+
+    def test_backup_counts_against_capacity(self):
+        stash = Stash(2)
+        stash.add(_entry(1))
+        stash.add(_entry(1, backup=True))
+        with pytest.raises(StashOverflowError):
+            stash.add(_entry(2))
+
+    def test_removing_backup_keeps_live_index(self):
+        stash = Stash(8)
+        live = _entry(1)
+        backup = _entry(1, backup=True)
+        stash.add(live)
+        stash.add(backup)
+        stash.remove(backup)
+        assert stash.find(1) is live
+
+
+class TestStashState:
+    def test_clear(self):
+        stash = Stash(8)
+        stash.add(_entry(1))
+        stash.clear()
+        assert stash.occupancy == 0
+        assert stash.find(1) is None
+
+    def test_occupancy_histogram_records(self):
+        stash = Stash(8)
+        stash.add(_entry(1))
+        stash.add(_entry(2))
+        assert stash.stats.histogram("occupancy").maximum == 2
+
+    def test_iteration_and_len(self):
+        stash = Stash(8)
+        stash.add(_entry(1))
+        stash.add(_entry(2))
+        assert len(stash) == 2
+        assert {e.block.address for e in stash} == {1, 2}

@@ -1,0 +1,82 @@
+"""Unit tests for counters, histograms, and stat sets."""
+
+import pytest
+
+from repro.util.stats import Counter, Histogram, StatSet
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.add(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram("lat")
+        for v in (1, 2, 3, 4):
+            h.record(v)
+        assert h.count == 4
+        assert h.mean == 2.5
+        assert h.maximum == 4
+        assert h.minimum == 1
+        assert h.total == 10
+
+    def test_percentiles(self):
+        h = Histogram("lat")
+        for v in range(101):
+            h.record(v)
+        assert h.percentile(0) == 0
+        assert h.percentile(50) == 50
+        assert h.percentile(100) == 100
+
+    def test_percentile_bounds(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+
+class TestStatSet:
+    def test_counter_identity(self):
+        s = StatSet("unit")
+        assert s.counter("a") is s.counter("a")
+
+    def test_get_default(self):
+        s = StatSet("unit")
+        assert s.get("missing") == 0
+        s.counter("hit").add(2)
+        assert s.get("hit") == 2
+
+    def test_snapshot_flattens(self):
+        s = StatSet("unit")
+        s.counter("ops").add(3)
+        s.histogram("lat").record(7)
+        snap = s.snapshot()
+        assert snap["ops"] == 3
+        assert snap["lat.count"] == 1
+        assert snap["lat.mean"] == 7
+
+    def test_reset_all(self):
+        s = StatSet("unit")
+        s.counter("ops").add(3)
+        s.histogram("lat").record(7)
+        s.reset()
+        assert s.get("ops") == 0
+        assert s.histogram("lat").count == 0

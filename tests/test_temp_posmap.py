@@ -1,0 +1,59 @@
+"""Unit tests for the temporary PosMap."""
+
+import pytest
+
+from repro.core.temp_posmap import TempPosMap
+
+
+class TestTempPosMap:
+    def test_set_get_pop(self):
+        tpm = TempPosMap(4)
+        tpm.set(1, 10)
+        assert tpm.get(1) == 10
+        assert tpm.pop(1) == 10
+        assert tpm.get(1) is None
+
+    def test_pop_missing(self):
+        assert TempPosMap(4).pop(9) is None
+
+    def test_update_refreshes_order(self):
+        tpm = TempPosMap(4)
+        tpm.set(1, 10)
+        tpm.set(2, 20)
+        tpm.set(1, 11)  # refresh
+        assert tpm.oldest() == (2, 20)
+        assert tpm.get(1) == 11
+
+    def test_oldest_empty(self):
+        assert TempPosMap(4).oldest() is None
+
+    def test_capacity_flag(self):
+        tpm = TempPosMap(2)
+        tpm.set(1, 1)
+        assert not tpm.is_full
+        tpm.set(2, 2)
+        assert tpm.is_full
+
+    def test_peak_occupancy(self):
+        tpm = TempPosMap(4)
+        tpm.set(1, 1)
+        tpm.set(2, 2)
+        tpm.pop(1)
+        assert tpm.peak_occupancy == 2
+
+    def test_clear(self):
+        tpm = TempPosMap(4)
+        tpm.set(1, 1)
+        tpm.clear()
+        assert len(tpm) == 0
+        assert 1 not in tpm
+
+    def test_items_insertion_ordered(self):
+        tpm = TempPosMap(4)
+        tpm.set(3, 30)
+        tpm.set(1, 10)
+        assert tpm.items() == [(3, 30), (1, 10)]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TempPosMap(0)

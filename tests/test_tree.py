@@ -1,0 +1,105 @@
+"""Unit tests for the NVM-resident ORAM tree."""
+
+import pytest
+
+from repro.config import small_config
+from repro.crypto.engine import CryptoEngine
+from repro.mem.controller import NVMMainMemory
+from repro.mem.request import RequestKind
+from repro.oram.block import Block, BlockCodec
+from repro.oram.layout import MemoryLayout
+from repro.oram.tree import ORAMTree
+
+
+@pytest.fixture
+def tree():
+    config = small_config(height=4)
+    layout = MemoryLayout(config.oram)
+    memory = NVMMainMemory(config.nvm)
+    codec = BlockCodec(CryptoEngine(b"key"), 64)
+    return ORAMTree(layout.data_tree, memory, codec)
+
+
+class TestFunctionalAccess:
+    def test_unwritten_slot_is_dummy(self, tree):
+        assert tree.load_slot(0, 0).is_dummy
+
+    def test_store_load_roundtrip(self, tree):
+        block = Block(address=3, path_id=5, data=b"v" * 64, version=2)
+        tree.store_slot(7, 1, block)
+        assert tree.load_slot(7, 1) == block
+
+    def test_load_bucket(self, tree):
+        tree.store_slot(2, 0, Block(address=1, path_id=0, data=bytes(64)))
+        bucket = tree.load_bucket(2)
+        assert bucket.real_count == 1
+
+
+class TestTimedPathAccess:
+    def test_read_path_returns_all_slots(self, tree):
+        blocks, finish = tree.read_path(3, 0)
+        assert len(blocks) == tree.path_slots == 4 * 5
+        assert finish > 0
+        assert tree.memory.traffic.total_reads == tree.path_slots
+
+    def test_write_path_full_reencryption(self, tree):
+        assignment = [[] for _ in range(tree.height + 1)]
+        assignment[0] = [Block(address=9, path_id=3, data=b"d" * 64)]
+        tree.write_path(3, assignment, 0)
+        # Every slot on the path is written, dummies included.
+        assert tree.memory.traffic.total_writes == tree.path_slots
+
+    def test_write_then_read_path_finds_block(self, tree):
+        assignment = [[] for _ in range(tree.height + 1)]
+        assignment[tree.height] = [Block(address=9, path_id=3, data=b"d" * 64)]
+        tree.write_path(3, assignment, 0)
+        blocks, _ = tree.read_path(3, 0)
+        found = [b for b in blocks if b.address == 9]
+        assert len(found) == 1
+        assert found[0].data == b"d" * 64
+
+    def test_block_on_shared_prefix_visible_from_other_path(self, tree):
+        # A block at the root is on every path.
+        assignment = [[] for _ in range(tree.height + 1)]
+        assignment[0] = [Block(address=9, path_id=0, data=b"r" * 64)]
+        tree.write_path(0, assignment, 0)
+        blocks, _ = tree.read_path((1 << tree.height) - 1, 0)
+        assert any(b.address == 9 for b in blocks)
+
+    def test_assignment_shape_validated(self, tree):
+        with pytest.raises(ValueError):
+            tree.write_path(0, [[]], 0)
+        too_many = [[Block.dummy(64)] * (tree.z + 1)] + [[] for _ in range(tree.height)]
+        with pytest.raises(ValueError):
+            tree.write_path(0, too_many, 0)
+
+    def test_request_kind_tagging(self):
+        config = small_config(height=4)
+        layout = MemoryLayout(config.oram)
+        memory = NVMMainMemory(config.nvm)
+        codec = BlockCodec(CryptoEngine(b"key"), 64)
+        tree = ORAMTree(layout.data_tree, memory, codec, kind=RequestKind.POSMAP)
+        tree.read_path(0, 0)
+        assert memory.traffic.reads_of(RequestKind.POSMAP) == tree.path_slots
+
+
+class TestDiagnostics:
+    def test_real_block_count(self, tree):
+        assert tree.real_block_count() == 0
+        tree.store_slot(0, 0, Block(address=1, path_id=0, data=bytes(64)))
+        assert tree.real_block_count() == 1
+
+    def test_occupancy_by_level(self, tree):
+        tree.store_slot(0, 0, Block(address=1, path_id=0, data=bytes(64)))
+        occupancy = tree.occupancy_by_level()
+        assert len(occupancy) == tree.height + 1
+        assert occupancy[0] == 0.25  # 1 of Z=4 root slots
+        assert all(level == 0 for level in occupancy[1:])
+
+    def test_header_scan(self, tree):
+        tree.store_slot(0, 0, Block(address=1, path_id=2, data=b"x" * 64, version=5))
+        headers = tree.read_path_headers(2)
+        real = [h for h in headers if not h.is_dummy]
+        assert len(real) == 1
+        assert real[0].version == 5
+        assert tree.memory.traffic.total_reads == 0  # functional scan is untimed

@@ -1,0 +1,73 @@
+"""Unit tests for unit conversion and formatting helpers."""
+
+import pytest
+
+from repro.util.clock import ClockDomain
+from repro.util.units import (
+    cycles_to_ns,
+    format_bytes,
+    format_energy,
+    format_time,
+    ns_to_cycles,
+)
+
+
+class TestConversions:
+    def test_cycles_to_ns(self):
+        assert cycles_to_ns(400, 400e6) == pytest.approx(1000.0)
+
+    def test_roundtrip(self):
+        assert ns_to_cycles(cycles_to_ns(123, 3.2e9), 3.2e9) == pytest.approx(123)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            cycles_to_ns(1, 0)
+        with pytest.raises(ValueError):
+            ns_to_cycles(1, -5)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.00KB"
+        assert format_bytes(3 * 1024 * 1024) == "3.00MB"
+        assert format_bytes(5 * 1024**3) == "5.00GB"
+
+    def test_format_time(self):
+        assert format_time(5) == "5.000ns"
+        assert format_time(1500) == "1.500us"
+        assert format_time(2.5e6) == "2.500ms"
+        assert format_time(3e9) == "3.000s"
+
+    def test_format_energy(self):
+        assert format_energy(0.5) == "0.500pJ"
+        assert format_energy(1500) == "1.500nJ"
+        assert format_energy(2.5e6) == "2.500uJ"
+        assert format_energy(3e9) == "3.000mJ"
+        assert format_energy(4e12) == "4.000J"
+
+
+class TestClockDomain:
+    def test_ratio(self):
+        clock = ClockDomain(3.2e9, 400e6)
+        assert clock.ratio == 8.0
+
+    def test_core_to_mem_floors(self):
+        clock = ClockDomain(3.2e9, 400e6)
+        assert clock.core_to_mem(15) == 1
+        assert clock.core_to_mem(16) == 2
+
+    def test_mem_to_core_ceils(self):
+        clock = ClockDomain(3.2e9, 400e6)
+        assert clock.mem_to_core(1) == 8
+        clock2 = ClockDomain(3e9, 400e6)  # ratio 7.5
+        assert clock2.mem_to_core(1) == 8
+
+    def test_latency_never_underreported(self):
+        clock = ClockDomain(3e9, 400e6)
+        for mem in range(1, 50):
+            assert clock.mem_latency_to_core(mem) >= mem * clock.ratio
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(ValueError):
+            ClockDomain(0, 1)

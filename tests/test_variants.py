@@ -1,0 +1,115 @@
+"""Tests for the variant factory and per-variant traffic signatures."""
+
+import pytest
+
+from repro.config import small_config
+from repro.core.variants import (
+    NON_RECURSIVE_VARIANTS,
+    RECURSIVE_VARIANTS,
+    VARIANTS,
+    build_variant,
+)
+from repro.mem.request import RequestKind
+from repro.util.rng import DeterministicRNG
+
+
+class TestFactory:
+    def test_all_variants_buildable(self):
+        config = small_config(height=6)
+        for name in VARIANTS:
+            controller = build_variant(name, config)
+            assert hasattr(controller, "access")
+
+    def test_unknown_variant_lists_known(self):
+        with pytest.raises(KeyError, match="baseline"):
+            build_variant("does-not-exist", small_config(height=6))
+
+    def test_variant_groups_cover_evaluated_systems(self):
+        assert set(NON_RECURSIVE_VARIANTS) <= set(VARIANTS)
+        assert set(RECURSIVE_VARIANTS) <= set(VARIANTS)
+
+
+class TestFunctionalEquivalence:
+    """All ORAM variants implement identical program-visible semantics."""
+
+    @pytest.mark.parametrize("name", sorted(VARIANTS))
+    def test_roundtrip(self, name):
+        controller = build_variant(name, small_config(height=6))
+        controller.write(3, b"payload")
+        assert controller.read(3).data.rstrip(b"\x00") == b"payload"
+
+    @pytest.mark.parametrize("name", ["baseline", "ps", "naive-ps", "fullnvm"])
+    def test_model_agreement(self, name):
+        controller = build_variant(name, small_config(height=6))
+        rng = DeterministicRNG(9)
+        model = {}
+        for i in range(120):
+            addr = rng.randrange(40)
+            if rng.random() < 0.5:
+                value = bytes([i % 256])
+                controller.write(addr, value)
+                model[addr] = value + bytes(63)
+            else:
+                assert controller.read(addr).data == model.get(addr, bytes(64))
+
+
+class TestCrashConsistencySupportMatrix:
+    """Only the PS variants (and trivially plain) are crash consistent."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("plain", True),
+            ("baseline", False),
+            ("fullnvm", False),
+            ("naive-ps", True),
+            ("ps", True),
+            ("rcr-baseline", False),
+            ("rcr-ps", True),
+            ("eadr-oram", True),
+            ("ps-hybrid", True),
+            ("ring-baseline", False),
+            ("ring-ps", True),
+        ],
+    )
+    def test_support_flag(self, name, expected):
+        controller = build_variant(name, small_config(height=6))
+        assert controller.supports_crash_consistency() is expected
+
+
+class TestTrafficSignatures:
+    def _drive(self, name, config=None, writes=80):
+        controller = build_variant(name, config or small_config(height=6, seed=3))
+        rng = DeterministicRNG(10)
+        for i in range(writes):
+            controller.write(rng.randrange(30), bytes([i % 256]))
+        return controller
+
+    def test_naive_persists_entry_per_path_slot(self):
+        naive = self._drive("naive-ps")
+        persist = naive.traffic.writes_of(RequestKind.PERSIST)
+        data = naive.traffic.writes_of(RequestKind.DATA_PATH)
+        # Naive flushes Z*(L+1) entries per eviction round: persist ~= data.
+        assert persist == pytest.approx(data, rel=0.05)
+
+    def test_ps_persists_far_less_than_naive(self):
+        ps = self._drive("ps")
+        naive = self._drive("naive-ps")
+        assert (
+            ps.traffic.writes_of(RequestKind.PERSIST)
+            < 0.2 * naive.traffic.writes_of(RequestKind.PERSIST)
+        )
+
+    def test_fullnvm_onchip_traffic(self):
+        fullnvm = self._drive("fullnvm")
+        assert fullnvm.onchip.traffic.total_writes > 0
+        assert fullnvm.total_nvm_writes() > fullnvm.memory.traffic.total_writes
+
+    def test_recursive_adds_posmap_tree_traffic(self):
+        rcr = self._drive("rcr-baseline")
+        assert rcr.traffic.reads_of(RequestKind.POSMAP) > 0
+        assert rcr.traffic.writes_of(RequestKind.POSMAP) > 0
+
+    def test_plain_single_access_per_op(self):
+        plain = self._drive("plain", writes=10)
+        assert plain.traffic.total_writes == 10

@@ -1,0 +1,40 @@
+"""Tests for the trace toolkit CLI."""
+
+import pytest
+
+from repro.workloads.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "401.bzip2" in out
+        assert "pointer_chase" in out
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "403.gcc", "--refs", "200"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# trace 403.gcc")
+        assert len(out.splitlines()) == 201
+
+    def test_generate_inspect_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "mcf.trace"
+        assert main(["generate", "429.mcf", "--refs", "1500", "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "references:   1500" in out
+        assert "MPKI" in out
+
+    def test_calibrate_passes_for_suite_workload(self, capsys):
+        assert main(["calibrate", "401.bzip2", "--refs", "3000"]) == 0
+        assert "paper MPKI 61.16" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "999.nope"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
