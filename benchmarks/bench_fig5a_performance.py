@@ -3,9 +3,12 @@
 Paper (Z=4, 1 channel, geometric means over 14 SPEC workloads, normalized
 to Baseline): FullNVM +90.54%, FullNVM(STT) +37.69%, Naive-PS-ORAM +73.92%,
 PS-ORAM +4.29%.
+
+Runnable standalone: ``python benchmarks/bench_fig5a_performance.py
+[--full] [--jobs N] [--no-cache]``.
 """
 
-from repro.bench.harness import BENCH_WORKLOADS, format_table, sweep
+from repro.bench.harness import BENCH_WORKLOADS, format_table, parse_bench_args, sweep
 from repro.core.variants import NON_RECURSIVE_VARIANTS
 from repro.sim.results import geometric_mean, normalize
 
@@ -15,14 +18,12 @@ def _aggregate(results):
     return {variant: geometric_mean(row.values()) for variant, row in table.items()}
 
 
-def test_fig5a_normalized_performance(benchmark):
-    results = benchmark.pedantic(
-        lambda: sweep(NON_RECURSIVE_VARIANTS), rounds=1, iterations=1
-    )
+def _report(results, workloads):
+    """Print the figure tables; returns the geomean-normalized dict."""
     norm = _aggregate(results)
     per_workload = normalize(results, "baseline", "cycles")
     rows = [
-        (variant, *(per_workload[variant].get(w, float("nan")) for w in BENCH_WORKLOADS),
+        (variant, *(per_workload[variant].get(w, float("nan")) for w in workloads),
          norm[variant])
         for variant in NON_RECURSIVE_VARIANTS
     ]
@@ -30,7 +31,7 @@ def test_fig5a_normalized_performance(benchmark):
     print(
         format_table(
             "Figure 5(a): execution time normalized to Baseline",
-            ["Variant", *BENCH_WORKLOADS, "geomean"],
+            ["Variant", *workloads, "geomean"],
             rows,
         )
     )
@@ -40,8 +41,27 @@ def test_fig5a_normalized_performance(benchmark):
         ["Variant", "Paper", "Measured"],
         [(v, paper[v], norm[v]) for v in paper],
     ))
+    return norm
+
+
+def test_fig5a_normalized_performance(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep(NON_RECURSIVE_VARIANTS), rounds=1, iterations=1
+    )
+    norm = _report(results, BENCH_WORKLOADS)
     # Shape assertions: ordering and rough factors.
     assert norm["ps"] < 1.15
     assert norm["ps"] < norm["fullnvm-stt"] < norm["fullnvm"]
     assert norm["naive-ps"] > 1.4
     assert norm["fullnvm"] > 1.3
+
+
+def main(argv=None) -> int:
+    args = parse_bench_args(__doc__, argv)
+    results = sweep(NON_RECURSIVE_VARIANTS, args.workloads)
+    _report(results, args.workloads)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,9 +5,12 @@ schemes and stay flat otherwise (6a); writes increase +111.63% for FullNVM,
 ~+100% for Naive-PS-ORAM, +4.84% for PS-ORAM, and Rcr-PS-ORAM adds +15.54%
 over Rcr-Baseline (6b — our Rcr-PS bookkeeping is cheaper, see
 EXPERIMENTS.md).
+
+Runnable standalone: ``python benchmarks/bench_fig6_traffic.py
+[--full] [--jobs N] [--no-cache]``.
 """
 
-from repro.bench.harness import format_table, sweep
+from repro.bench.harness import format_table, parse_bench_args, sweep
 from repro.sim.results import geometric_mean, normalize
 
 VARIANTS = (
@@ -84,3 +87,21 @@ def test_fig6_wear_relevance(benchmark):
     per = dict(rows)
     assert per["ps"] < 1.1 * per["baseline"]
     assert per["naive-ps"] > 1.8 * per["baseline"]
+
+
+def main(argv=None) -> int:
+    args = parse_bench_args(__doc__, argv)
+    results = sweep(VARIANTS, args.workloads)
+    reads = _norms(results, "nvm_reads")
+    writes = _norms(results, "nvm_writes")
+    print(format_table(
+        "Figure 6: NVM traffic normalized to Baseline",
+        ["Variant", "Reads", "Writes"],
+        [(v, reads.get(v, float("nan")), writes.get(v, float("nan")))
+         for v in VARIANTS],
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

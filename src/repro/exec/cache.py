@@ -1,0 +1,156 @@
+"""Content-addressed on-disk cache for finished sweep points.
+
+A point's key is a SHA-256 over everything that determines its result:
+variant name, workload name, the full :class:`SystemConfig` (its dataclass
+``repr`` is canonical and deterministic), trace length (references plus
+warmup), the trace seed, and a digest of the package's own source code so
+a code change invalidates stale results instead of silently serving them.
+
+Cached entries are one JSON file per key under a two-level fan-out
+directory (``ab/abcdef....json``), written atomically (temp file + rename)
+so a crash mid-write never leaves a truncated entry that a later run would
+try to parse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.sim.results import RunResult
+
+#: Cache format version; bump on incompatible layout changes.
+CACHE_VERSION = 1
+
+_code_version_memo: Optional[str] = None
+
+
+def default_cache_root() -> Path:
+    """Cache directory: ``$REPRO_CACHE_DIR`` or ``.repro_cache/`` in cwd."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.cwd() / ".repro_cache"
+
+
+def default_journal_path() -> Path:
+    """Where sweeps journal to unless told otherwise."""
+    return default_cache_root() / "journal.jsonl"
+
+
+def code_version() -> str:
+    """Digest of the package's source, memoized per process.
+
+    Hashes every ``.py`` file under ``repro/`` except this ``exec``
+    package itself — orchestration changes do not alter what a simulation
+    point computes, so they should not invalidate cached results.
+    """
+    global _code_version_memo
+    if _code_version_memo is not None:
+        return _code_version_memo
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith("exec/"):
+            continue
+        digest.update(rel.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _code_version_memo = digest.hexdigest()[:16]
+    return _code_version_memo
+
+
+def point_key(
+    variant: str,
+    workload: str,
+    config: SystemConfig,
+    references: int,
+    warmup: int,
+    seed: int,
+) -> str:
+    """Stable content hash identifying one sweep point."""
+    payload = json.dumps(
+        {
+            "cache_version": CACHE_VERSION,
+            "code": code_version(),
+            "config": repr(config),
+            "references": references,
+            "seed": seed,
+            "variant": variant,
+            "warmup": warmup,
+            "workload": workload,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed map from point key to :class:`RunResult`."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def _path(self, key: str) -> Path:
+        return self.root / "results" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or ``None`` (corrupt == miss)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            return RunResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"key": key, "result": result.to_dict()})
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        results = self.root / "results"
+        if not results.is_dir():
+            return 0
+        return sum(1 for _ in results.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        results = self.root / "results"
+        if not results.is_dir():
+            return 0
+        for path in results.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, entries={len(self)})"

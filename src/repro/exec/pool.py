@@ -1,0 +1,401 @@
+"""Process-pool sweep orchestrator.
+
+``run_sweep`` takes a list of independent :class:`SweepPoint`\\ s and
+returns one :class:`PointOutcome` per point, in input order, regardless of
+how the points were scheduled.  Three properties define it:
+
+* **Determinism** — a point's result depends only on the point (variant,
+  workload, config, trace length, seed), never on worker assignment or
+  completion order.  Workers rebuild the workload trace from the point's
+  seed, so parallel results are bit-identical to the serial path's.
+* **Fault isolation** — a point that raises, hangs past the
+  :class:`FaultPolicy` timeout, or whose worker process dies is retried up
+  to the policy's budget and then recorded as a :class:`PointError`; the
+  rest of the sweep completes.
+* **Clean interrupt** — Ctrl-C kills outstanding workers, journals a
+  ``sweep_interrupted`` event, flushes, and re-raises, so nothing is left
+  orphaned and the journal reflects exactly what completed.
+
+Workers are one process per point attempt (fork start method where
+available): points are seconds-long simulations, so process spin-up is
+noise, and a dedicated process is the only way to enforce a hard per-point
+timeout and to survive a worker dying mid-point.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.exec.cache import ResultCache, point_key
+from repro.exec.faults import (
+    KIND_CRASH,
+    KIND_EXCEPTION,
+    KIND_TIMEOUT,
+    FaultPolicy,
+    PointError,
+)
+from repro.exec.journal import RunJournal
+from repro.sim.results import RunResult
+
+#: How long the parent sleeps in connection.wait when workers are busy.
+_POLL_S = 0.05
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent unit of sweep work: a (variant, workload, config) run."""
+
+    variant: str
+    workload: str
+    config: SystemConfig
+    references: int
+    warmup: int = 0
+    seed: int = 7
+
+    @property
+    def label(self) -> str:
+        return f"{self.variant}/{self.workload}"
+
+    def key(self) -> str:
+        """Content hash for the result cache (see :mod:`repro.exec.cache`)."""
+        return point_key(
+            self.variant, self.workload, self.config,
+            self.references, self.warmup, self.seed,
+        )
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one point: exactly one of result/error is set."""
+
+    point: SweepPoint
+    result: Optional[RunResult] = None
+    error: Optional[PointError] = None
+    cached: bool = False
+    wall_s: float = 0.0
+    worker: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def execute_point(point: SweepPoint) -> RunResult:
+    """Run one point from scratch — the function worker processes execute.
+
+    Rebuilds the trace from (workload, length, seed) rather than shipping
+    it across the process boundary; generation is deterministic, so this
+    preserves bit-identity with the serial path at a fraction of the IPC.
+    """
+    from repro.sim.runner import run_experiment
+    from repro.workloads.spec import spec_workload
+
+    trace = spec_workload(
+        point.workload,
+        references=point.references + point.warmup,
+        seed=point.seed,
+    )
+    return run_experiment(point.variant, point.config, trace, point.warmup)
+
+
+def collect_results(
+    outcomes: Sequence[PointOutcome], strict: bool = False
+) -> List[RunResult]:
+    """The successful results, in order; ``strict`` raises on any failure."""
+    if strict:
+        errors = [o.error for o in outcomes if o.error is not None]
+        if errors:
+            raise RuntimeError(
+                "sweep had failed points:\n  "
+                + "\n  ".join(str(e) for e in errors)
+            )
+    return [o.result for o in outcomes if o.result is not None]
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    journal: Optional[RunJournal] = None,
+    faults: Optional[FaultPolicy] = None,
+    executor: Callable[[SweepPoint], RunResult] = execute_point,
+) -> List[PointOutcome]:
+    """Run every point; never aborts on a point failure.
+
+    ``jobs <= 1`` runs in-process (no worker processes, timeouts not
+    enforceable); ``jobs > 1`` fans out across processes.  ``cache`` short-
+    circuits points whose key is already stored and records fresh results.
+    KeyboardInterrupt cancels outstanding points, flushes the journal, and
+    re-raises.
+    """
+    faults = faults or FaultPolicy()
+    outcomes: List[Optional[PointOutcome]] = [None] * len(points)
+    if journal is not None:
+        journal.emit("sweep_started", points=len(points), jobs=jobs)
+    sweep_start = time.monotonic()
+
+    try:
+        # Cache pass: resolve every already-computed point up front.
+        todo: List[int] = []
+        for index, point in enumerate(points):
+            hit = cache.get(point.key()) if cache is not None else None
+            if hit is not None:
+                outcomes[index] = PointOutcome(point, result=hit, cached=True)
+                if journal is not None:
+                    journal.emit(
+                        "point_cached", key=point.key(),
+                        variant=point.variant, workload=point.workload,
+                    )
+            else:
+                todo.append(index)
+
+        if todo:
+            if jobs <= 1:
+                _run_serial(points, todo, outcomes, cache, journal, faults, executor)
+            else:
+                _run_parallel(
+                    points, todo, outcomes, jobs, cache, journal, faults, executor
+                )
+    except KeyboardInterrupt:
+        if journal is not None:
+            journal.emit("sweep_interrupted")
+            journal.close()
+        raise
+
+    done = [o for o in outcomes if o is not None]
+    if journal is not None:
+        journal.emit(
+            "sweep_finished",
+            finished=sum(1 for o in done if o.ok and not o.cached),
+            cached=sum(1 for o in done if o.cached),
+            failed=sum(1 for o in done if o.error is not None),
+            wall_s=time.monotonic() - sweep_start,
+        )
+    return list(done)
+
+
+def _record(
+    outcomes: List[Optional[PointOutcome]],
+    index: int,
+    outcome: PointOutcome,
+    cache: Optional[ResultCache],
+    journal: Optional[RunJournal],
+) -> None:
+    outcomes[index] = outcome
+    point = outcome.point
+    if outcome.ok:
+        if cache is not None and not outcome.cached:
+            cache.put(point.key(), outcome.result)
+        if journal is not None:
+            journal.emit(
+                "point_finished", key=point.key(),
+                variant=point.variant, workload=point.workload,
+                wall_s=outcome.wall_s, worker=outcome.worker,
+            )
+    else:
+        if journal is not None:
+            journal.emit(
+                "point_failed", key=point.key(),
+                variant=point.variant, workload=point.workload,
+                kind=outcome.error.kind, error=outcome.error.message,
+                attempts=outcome.error.attempts,
+            )
+
+
+def _run_serial(
+    points: Sequence[SweepPoint],
+    todo: List[int],
+    outcomes: List[Optional[PointOutcome]],
+    cache: Optional[ResultCache],
+    journal: Optional[RunJournal],
+    faults: FaultPolicy,
+    executor: Callable[[SweepPoint], RunResult],
+) -> None:
+    for index in todo:
+        point = points[index]
+        last_error = "unknown"
+        for attempt in range(1, faults.max_attempts + 1):
+            if journal is not None:
+                journal.emit(
+                    "point_started", key=point.key(),
+                    variant=point.variant, workload=point.workload,
+                    worker=0, attempt=attempt,
+                )
+            started = time.monotonic()
+            try:
+                result = executor(point)
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            _record(
+                outcomes, index,
+                PointOutcome(
+                    point, result=result,
+                    wall_s=time.monotonic() - started, worker=0,
+                ),
+                cache, journal,
+            )
+            break
+        else:
+            _record(
+                outcomes, index,
+                PointOutcome(point, error=PointError(
+                    point.variant, point.workload, KIND_EXCEPTION,
+                    last_error, faults.max_attempts,
+                )),
+                cache, journal,
+            )
+
+
+@dataclass
+class _Attempt:
+    """Parent-side state of one in-flight worker process."""
+
+    index: int
+    point: SweepPoint
+    process: multiprocessing.Process
+    conn: connection.Connection
+    worker: int
+    attempt: int
+    started: float = field(default_factory=time.monotonic)
+
+
+def _child_main(executor, point, conn) -> None:
+    """Worker entry: run the point, ship back ('ok', result) or ('err', msg)."""
+    try:
+        result = executor(point)
+        conn.send(("ok", result))
+    except BaseException as exc:  # a failing point must still report
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_parallel(
+    points: Sequence[SweepPoint],
+    todo: List[int],
+    outcomes: List[Optional[PointOutcome]],
+    jobs: int,
+    cache: Optional[ResultCache],
+    journal: Optional[RunJournal],
+    faults: FaultPolicy,
+    executor: Callable[[SweepPoint], RunResult],
+) -> None:
+    # fork keeps worker launch cheap and lets tests inject closures as
+    # executors; fall back to the platform default elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    pending = deque(todo)
+    attempts_used: Dict[int, int] = {index: 0 for index in todo}
+    free_workers = list(range(jobs - 1, -1, -1))
+    active: Dict[connection.Connection, _Attempt] = {}
+
+    def spawn(index: int) -> None:
+        point = points[index]
+        attempts_used[index] += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_child_main, args=(executor, point, child_conn), daemon=True
+        )
+        worker = free_workers.pop()
+        process.start()
+        child_conn.close()
+        active[parent_conn] = _Attempt(
+            index, point, process, parent_conn, worker, attempts_used[index]
+        )
+        if journal is not None:
+            journal.emit(
+                "point_started", key=point.key(),
+                variant=point.variant, workload=point.workload,
+                worker=worker, attempt=attempts_used[index],
+            )
+
+    def retire(state: _Attempt, kind: Optional[str], payload) -> None:
+        """Handle one finished attempt: success, retry, or terminal error."""
+        state.conn.close()
+        free_workers.append(state.worker)
+        if kind == "ok":
+            _record(
+                outcomes, state.index,
+                PointOutcome(
+                    state.point, result=payload,
+                    wall_s=time.monotonic() - state.started,
+                    worker=state.worker,
+                ),
+                cache, journal,
+            )
+            return
+        if state.attempt < faults.max_attempts:
+            pending.append(state.index)
+            return
+        error_kind = KIND_EXCEPTION if kind == "err" else (kind or KIND_CRASH)
+        _record(
+            outcomes, state.index,
+            PointOutcome(state.point, error=PointError(
+                state.point.variant, state.point.workload,
+                error_kind, payload, state.attempt,
+            )),
+            cache, journal,
+        )
+
+    try:
+        while pending or active:
+            while pending and free_workers:
+                spawn(pending.popleft())
+
+            ready = connection.wait(list(active), timeout=_POLL_S)
+            for conn in ready:
+                state = active.pop(conn)
+                try:
+                    kind, payload = conn.recv()
+                except (EOFError, OSError):
+                    kind, payload = (
+                        KIND_CRASH,
+                        f"worker died (exitcode={state.process.exitcode})",
+                    )
+                state.process.join()
+                retire(state, kind, payload)
+
+            if faults.timeout_s is not None:
+                now = time.monotonic()
+                for conn, state in list(active.items()):
+                    if now - state.started <= faults.timeout_s:
+                        continue
+                    del active[conn]
+                    state.process.terminate()
+                    state.process.join()
+                    retire(
+                        state, KIND_TIMEOUT,
+                        f"exceeded {faults.timeout_s}s wall budget",
+                    )
+    except KeyboardInterrupt:
+        _terminate_all(active)
+        raise
+    except BaseException:
+        _terminate_all(active)
+        raise
+
+
+def _terminate_all(active: Dict[connection.Connection, _Attempt]) -> None:
+    """Kill and reap every outstanding worker (interrupt/teardown path)."""
+    for state in active.values():
+        if state.process.is_alive():
+            state.process.terminate()
+    for state in active.values():
+        state.process.join(timeout=5)
+        if state.process.is_alive():
+            state.process.kill()
+            state.process.join()
+        state.conn.close()
+    active.clear()

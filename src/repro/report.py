@@ -9,6 +9,8 @@ Options::
     python -m repro --quick          # smaller sweeps (default)
     python -m repro --full           # all 14 workloads, longer traces
     python -m repro --only fig5a     # one experiment id
+    python -m repro --jobs 4         # parallel sweep points (repro.exec)
+    python -m repro --no-cache       # ignore the on-disk result cache
 """
 
 from __future__ import annotations
@@ -193,18 +195,40 @@ EXPERIMENTS = {
 
 
 def main(argv: Sequence[str] = None) -> int:
+    from repro.bench.harness import set_execution_defaults
+
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="all 14 workloads (slower)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps (the default)")
     parser.add_argument("--only", choices=sorted(EXPERIMENTS), default=None,
                         help="run a single experiment")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run sweep points on N worker processes "
+                             "(see docs/PARALLEL.md)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result cache")
     args = parser.parse_args(argv)
+    if args.full and args.quick:
+        parser.error("--full and --quick are mutually exclusive")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     args.workloads = list(FULL_WORKLOADS if args.full else BENCH_WORKLOADS)
+    set_execution_defaults(
+        jobs=args.jobs, use_cache=False if args.no_cache else None
+    )
 
     todo: List[str] = [args.only] if args.only else list(EXPERIMENTS)
     for index, name in enumerate(todo):
         started = time.time()
-        EXPERIMENTS[name](args)
+        try:
+            EXPERIMENTS[name](args)
+        except KeyboardInterrupt:
+            # The pool has already killed outstanding workers and flushed
+            # the journal; report the partial run and exit nonzero.
+            print(f"\n[interrupted during {name}]", file=sys.stderr)
+            return 130
         print(f"[{name}: {time.time() - started:.1f}s]\n")
     return 0
 

@@ -31,6 +31,33 @@ class RunResult:
             return 0.0
         return self.cycles / self.instructions
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the on-disk result-cache format)."""
+        return {
+            "variant": self.variant,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "llc_misses": self.llc_misses,
+            "nvm_reads": self.nvm_reads,
+            "nvm_writes": self.nvm_writes,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunResult":
+        """Inverse of :meth:`to_dict`; raises ``KeyError`` on missing fields."""
+        return cls(
+            variant=payload["variant"],
+            workload=payload["workload"],
+            cycles=payload["cycles"],
+            instructions=payload["instructions"],
+            llc_misses=payload["llc_misses"],
+            nvm_reads=payload["nvm_reads"],
+            nvm_writes=payload["nvm_writes"],
+            extra=dict(payload.get("extra", {})),
+        )
+
 
 def normalize(
     results: Iterable[RunResult],

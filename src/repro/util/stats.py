@@ -10,6 +10,8 @@ Three building blocks:
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Dict, Iterable, List, Optional
 
 
@@ -37,44 +39,85 @@ class Counter:
 
 
 class Histogram:
-    """A streaming histogram that keeps every sample.
+    """A streaming histogram: exact by default, bounded on request.
 
-    Sample counts in this package are modest (one entry per ORAM access at
-    most), so an exact histogram is affordable and percentiles are exact.
+    In exact mode (the default) every sample is kept and percentiles are
+    exact — affordable for the modest per-run sample counts most
+    components produce.  For multi-million-reference runs pass
+    ``max_samples``: count/total/mean/min/max stay exact (tracked as
+    running aggregates) while percentiles come from a uniform reservoir
+    (Vitter's Algorithm R) of at most ``max_samples`` kept values, so
+    memory is bounded regardless of run length.  The reservoir RNG is
+    seeded from the histogram's name, so runs stay reproducible.
     """
 
-    __slots__ = ("name", "_samples")
+    __slots__ = (
+        "name", "max_samples", "_samples", "_count", "_total",
+        "_min", "_max", "_rng",
+    )
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
+        self.max_samples = max_samples
         self._samples: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        # zlib.crc32 is stable across processes (str hash is salted).
+        self._rng = random.Random(zlib.crc32(name.encode()))
 
     def record(self, value: float) -> None:
         """Add one sample."""
-        self._samples.append(value)
+        self._count += 1
+        self._total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self.max_samples is None or len(self._samples) < self.max_samples:
+            self._samples.append(value)
+            return
+        # Reservoir sampling (Algorithm R): the i-th sample replaces a
+        # random slot with probability max_samples / i.
+        slot = self._rng.randrange(self._count)
+        if slot < self.max_samples:
+            self._samples[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self._samples) if self._samples else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        return self._max if self._max is not None else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self._samples) if self._samples else 0.0
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def kept_samples(self) -> int:
+        """How many samples back the percentile estimate (== count in
+        exact mode, <= max_samples in reservoir mode)."""
+        return len(self._samples)
 
     def percentile(self, p: float) -> float:
-        """Exact percentile via nearest-rank (p in [0, 100])."""
+        """Nearest-rank percentile (p in [0, 100]).
+
+        Exact in the default mode; in reservoir mode an unbiased estimate
+        over the kept sample.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self._samples:
@@ -85,6 +128,10 @@ class Histogram:
 
     def reset(self) -> None:
         self._samples.clear()
+        self._count = 0
+        self._total = 0.0
+        self._min = None
+        self._max = None
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}: n={self.count}, mean={self.mean:.2f})"
@@ -104,10 +151,16 @@ class StatSet:
             self._counters[name] = Counter(name)
         return self._counters[name]
 
-    def histogram(self, name: str) -> Histogram:
-        """Get or create the histogram ``name``."""
+    def histogram(
+        self, name: str, max_samples: Optional[int] = None
+    ) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        ``max_samples`` bounds memory via reservoir sampling (see
+        :class:`Histogram`); it only applies on first creation.
+        """
         if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
+            self._histograms[name] = Histogram(name, max_samples=max_samples)
         return self._histograms[name]
 
     def counters(self) -> Iterable[Counter]:

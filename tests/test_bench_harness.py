@@ -48,3 +48,83 @@ class TestSweepCaching:
         a = sweep(("plain",), ("403.gcc",), references=60, warmup=10)
         b = sweep(("plain",), ("403.gcc",), references=70, warmup=10)
         assert a is not b
+
+
+class TestScaleParsing:
+    def test_valid_values(self):
+        from repro.bench.harness import _parse_scale
+
+        assert _parse_scale("2.5") == 2.5
+        assert _parse_scale("1") == 1.0
+        assert _parse_scale(None) == 1.0
+
+    def test_malformed_falls_back_with_warning(self):
+        import pytest
+
+        from repro.bench.harness import _parse_scale
+
+        for bad in ("banana", "", "-3", "0", "nan", "inf"):
+            with pytest.warns(RuntimeWarning, match="REPRO_BENCH_SCALE"):
+                assert _parse_scale(bad) == 1.0
+
+    def test_warning_names_the_bad_value(self):
+        import pytest
+
+        from repro.bench.harness import _parse_scale
+
+        with pytest.warns(RuntimeWarning, match="'banana'"):
+            _parse_scale("banana")
+
+    def test_malformed_env_does_not_break_import(self):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, REPRO_BENCH_SCALE="garbage")
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.bench.harness import BENCH_REFERENCES; "
+             "print(BENCH_REFERENCES)"],
+            env=env, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == "1200"  # fell back to scale 1.0
+        assert "REPRO_BENCH_SCALE" in proc.stderr
+
+
+class TestParseBenchArgs:
+    def test_defaults(self, monkeypatch):
+        from repro.bench import harness
+
+        monkeypatch.setattr(
+            harness, "_exec_defaults",
+            {"jobs": 1, "use_cache": None, "journal": None},
+        )
+        args = harness.parse_bench_args("d", [])
+        assert args.jobs == 1
+        assert args.workloads == list(harness.BENCH_WORKLOADS)
+        assert harness._exec_defaults["jobs"] == 1
+
+    def test_full_jobs_no_cache(self, monkeypatch):
+        from repro.bench import harness
+
+        monkeypatch.setattr(
+            harness, "_exec_defaults",
+            {"jobs": 1, "use_cache": None, "journal": None},
+        )
+        args = harness.parse_bench_args(
+            "d", ["--full", "--jobs", "3", "--no-cache"]
+        )
+        assert args.workloads == list(harness.FULL_WORKLOADS)
+        assert harness._exec_defaults["jobs"] == 3
+        assert harness._exec_defaults["use_cache"] is False
+
+    def test_rejects_bad_jobs(self):
+        import pytest
+
+        from repro.bench.harness import parse_bench_args
+
+        with pytest.raises(SystemExit):
+            parse_bench_args("d", ["--jobs", "0"])

@@ -71,3 +71,84 @@ class TestCoRunner:
     def test_rejects_zero_programs(self):
         with pytest.raises(ValueError):
             CoRunner("ps", small_config(height=6), programs=0)
+
+
+class TestOffsetMemoryAccounting:
+    """Per-runner traffic accounting and address isolation of _OffsetMemory."""
+
+    def _shared(self):
+        from repro.config import PCM_TIMING
+        from repro.mem.controller import NVMMainMemory
+
+        return NVMMainMemory(
+            PCM_TIMING, channels=1, banks_per_channel=8, line_bytes=64
+        )
+
+    def test_own_traffic_splits_per_view_shared_meter_totals(self):
+        from repro.mem.request import Access
+        from repro.sim.multiprog import _OffsetMemory
+
+        shared = self._shared()
+        a = _OffsetMemory(shared, 0)
+        b = _OffsetMemory(shared, 1 << 20)
+        for i in range(3):
+            a.access(i * 64, Access.READ, 0)
+        a.access(0, Access.WRITE, 0, data=b"\x01" * 64)
+        for i in range(2):
+            b.access(i * 64, Access.WRITE, 0, data=b"\x02" * 64)
+        # Per-runner meters see only their own requests...
+        assert a.own_traffic.get("reads") == 3
+        assert a.own_traffic.get("writes") == 1
+        assert b.own_traffic.get("reads") == 0
+        assert b.own_traffic.get("writes") == 2
+        # ... while the shared meter (a.traffic IS shared.traffic) totals.
+        assert a.traffic is shared.traffic
+        assert b.traffic is shared.traffic
+        assert shared.traffic.total_reads == 3
+        assert shared.traffic.total_writes == 3
+
+    def test_address_offset_isolation(self):
+        from repro.sim.multiprog import _OffsetMemory
+
+        shared = self._shared()
+        a = _OffsetMemory(shared, 0)
+        b = _OffsetMemory(shared, 1 << 20)
+        a.store_line(0, b"A" * 64)
+        b.store_line(0, b"B" * 64)
+        # Same local address, distinct shared lines.
+        assert a.load_line(0) == b"A" * 64
+        assert b.load_line(0) == b"B" * 64
+        assert shared.load_line(0) == b"A" * 64
+        assert shared.load_line(1 << 20) == b"B" * 64
+
+    def test_written_lines_rebased_to_local_space(self):
+        from repro.sim.multiprog import _OffsetMemory
+
+        shared = self._shared()
+        offset = 1 << 20
+        b = _OffsetMemory(shared, offset)
+        b.store_line(128, b"B" * 64)
+        local = b.written_lines(0, 4096)
+        assert 128 in local
+        # The shared view reports the same write at the shifted address.
+        assert offset + 128 in shared.written_lines(offset, 4096)
+        # And the other program's window is untouched.
+        a = _OffsetMemory(shared, 0)
+        assert a.written_lines(0, 4096) == []
+
+    def test_corunner_own_traffic_isolated_under_contention(self):
+        from repro.config import small_config
+        from repro.sim.multiprog import CoRunner
+
+        runner = CoRunner("baseline", small_config(height=6, seed=9), programs=2)
+        # Drive only program 0; program 1 stays idle.
+        runner.controllers[0].write(1, b"solo")
+        stats = runner.per_program_requests()
+        assert stats[0]["reads"] > 0
+        assert stats[0]["writes"] > 0
+        assert stats[1]["reads"] == 0
+        assert stats[1]["writes"] == 0
+        # The shared meter carries program 0's traffic.
+        shared = runner.shared_memory.traffic
+        assert shared.total_reads >= stats[0]["reads"]
+        assert shared.total_writes >= stats[0]["writes"]

@@ -80,3 +80,81 @@ class TestStatSet:
         s.reset()
         assert s.get("ops") == 0
         assert s.histogram("lat").count == 0
+
+
+class TestReservoirHistogram:
+    def test_memory_is_bounded(self):
+        h = Histogram("lat", max_samples=100)
+        for v in range(10_000):
+            h.record(float(v))
+        assert h.count == 10_000
+        assert h.kept_samples == 100
+        assert len(h._samples) == 100
+
+    def test_aggregates_stay_exact(self):
+        h = Histogram("lat", max_samples=10)
+        for v in range(1, 1001):
+            h.record(float(v))
+        assert h.count == 1000
+        assert h.total == sum(range(1, 1001))
+        assert h.mean == pytest.approx(500.5)
+        assert h.minimum == 1.0
+        assert h.maximum == 1000.0
+
+    def test_percentile_estimate_reasonable(self):
+        h = Histogram("lat", max_samples=500)
+        for v in range(20_000):
+            h.record(float(v))
+        # A 500-sample uniform reservoir puts the median well inside
+        # the central band.
+        assert 0.35 * 20_000 < h.percentile(50) < 0.65 * 20_000
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            h = Histogram("same-name", max_samples=16)
+            for v in range(1000):
+                h.record(float(v))
+            return list(h._samples)
+
+        assert fill() == fill()
+
+    def test_below_cap_is_exact(self):
+        h = Histogram("lat", max_samples=100)
+        for v in (1, 2, 3, 4):
+            h.record(v)
+        assert h.kept_samples == 4
+        assert h.percentile(100) == 4
+
+    def test_reset_clears_running_aggregates(self):
+        h = Histogram("lat", max_samples=4)
+        for v in range(100):
+            h.record(float(v))
+        h.reset()
+        assert h.count == 0
+        assert h.total == 0.0
+        assert h.mean == 0.0
+        assert h.maximum == 0.0
+        assert h.minimum == 0.0
+        assert h.kept_samples == 0
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", max_samples=0)
+
+    def test_statset_passes_cap_through(self):
+        s = StatSet("unit")
+        h = s.histogram("lat", max_samples=8)
+        assert h.max_samples == 8
+        for v in range(100):
+            h.record(float(v))
+        snap = s.snapshot()
+        assert snap["lat.count"] == 100
+        assert snap["lat.mean"] == pytest.approx(49.5)
+
+    def test_exact_mode_unchanged_by_default(self):
+        h = Histogram("lat")
+        for v in range(5000):
+            h.record(float(v))
+        assert h.max_samples is None
+        assert h.kept_samples == 5000
+        assert h.percentile(50) == 2500  # still exact
