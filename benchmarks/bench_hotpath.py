@@ -1,0 +1,149 @@
+"""Hot-path microbenchmark: raw controller accesses per second.
+
+Unlike the figure benches (trace through core + caches + controller),
+this harness drives the variant controllers *directly* with a synthetic
+half-read/half-write address stream, so the number it reports is the
+throughput of the per-access simulation loop itself — the code the
+profile-guided optimizations target (crypto keystream/XOR, tree path
+I/O, eviction planning, stats).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick]
+        [--output BENCH_hotpath.json] [--floor ACC_PER_SEC]
+
+Writes ``BENCH_hotpath.json`` with the measured accesses/sec per variant
+next to the pre-optimization reference numbers, and exits non-zero if
+the PS-ORAM variant drops below ``--floor`` (a deliberately generous
+bound that catches order-of-magnitude regressions, not machine noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.config import small_config
+from repro.util.rng import DeterministicRNG
+
+#: Accesses/sec measured on the pre-optimization tree (commit f36398e)
+#: with the default settings below, for the speedup column in the JSON.
+PRE_OPT_REFERENCE = {"baseline": 166.7, "ps": 181.0, "rcr-ps": 94.1}
+
+BENCH_HEIGHT = 10
+ADDRESS_SPACE = 512
+WARMUP_ACCESSES = 100
+MEASURED_ACCESSES = 400
+QUICK_WARMUP = 30
+QUICK_MEASURED = 120
+
+#: Generous default floor for the CI perf-smoke check (measured ~670
+#: acc/s on a laptop-class core; CI machines are slower, and the check
+#: only needs to catch order-of-magnitude regressions).
+DEFAULT_FLOOR = 60.0
+
+
+def _controller_classes():
+    from repro.core.recursive_ps import RcrPSORAMController
+    from repro.core.controller import PSORAMController
+    from repro.oram.controller import PathORAMController
+
+    return {
+        "baseline": PathORAMController,
+        "ps": PSORAMController,
+        "rcr-ps": RcrPSORAMController,
+    }
+
+
+def bench_variant(
+    name: str, warmup: int, measured: int, height: int = BENCH_HEIGHT
+) -> Dict[str, float]:
+    """Time ``measured`` accesses of one variant after ``warmup``."""
+    controller = _controller_classes()[name](small_config(height=height))
+    rng = DeterministicRNG(99)
+
+    def one() -> None:
+        addr = rng.randrange(ADDRESS_SPACE)
+        if rng.randrange(2):
+            controller.write(addr, addr.to_bytes(4, "little"))
+        else:
+            controller.read(addr)
+
+    for _ in range(warmup):
+        one()
+    start = time.perf_counter()
+    for _ in range(measured):
+        one()
+    elapsed = time.perf_counter() - start
+    per_sec = measured / elapsed
+    reference = PRE_OPT_REFERENCE.get(name)
+    return {
+        "accesses": measured,
+        "seconds": round(elapsed, 4),
+        "accesses_per_sec": round(per_sec, 1),
+        "pre_opt_accesses_per_sec": reference,
+        "speedup_vs_pre_opt": (
+            round(per_sec / reference, 2) if reference else None
+        ),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="short run for CI smoke (fewer accesses)")
+    parser.add_argument("--output", default="BENCH_hotpath.json", metavar="PATH",
+                        help="result JSON path (default: %(default)s)")
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR, metavar="N",
+                        help="fail if PS-ORAM accesses/sec drops below N "
+                             "(default: %(default)s)")
+    parser.add_argument("--variants", nargs="+", metavar="NAME",
+                        default=["baseline", "ps", "rcr-ps"],
+                        choices=["baseline", "ps", "rcr-ps"],
+                        help="variants to run (default: all)")
+    args = parser.parse_args(argv)
+
+    warmup = QUICK_WARMUP if args.quick else WARMUP_ACCESSES
+    measured = QUICK_MEASURED if args.quick else MEASURED_ACCESSES
+
+    results = {}
+    for name in args.variants:
+        results[name] = bench_variant(name, warmup, measured)
+        row = results[name]
+        speedup = row["speedup_vs_pre_opt"]
+        extra = f"  ({speedup:.2f}x vs pre-opt)" if speedup else ""
+        print(f"{name:10s} {row['accesses_per_sec']:8.1f} acc/s{extra}")
+
+    payload = {
+        "bench": "hotpath",
+        "quick": args.quick,
+        "height": BENCH_HEIGHT,
+        "address_space": ADDRESS_SPACE,
+        "warmup_accesses": warmup,
+        "measured_accesses": measured,
+        "pre_opt_reference": PRE_OPT_REFERENCE,
+        "results": results,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    ps = results.get("ps")
+    if ps is not None and ps["accesses_per_sec"] < args.floor:
+        print(
+            f"FAIL: ps throughput {ps['accesses_per_sec']:.1f} acc/s "
+            f"below floor {args.floor:.1f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ from repro.oram.block import Block
 from repro.oram.controller import PathORAMController
 from repro.oram.stash import StashEntry
 from repro.util.bitops import bucket_index
+from repro.util.stats import LazyCounter
 
 
 class PSORAMController(PathORAMController):
@@ -76,6 +77,10 @@ class PSORAMController(PathORAMController):
         )
         # Pending label graduation from a stash-hit write (see _remap).
         self._graduate: Optional[Tuple[int, int]] = None
+        # Per-access counters, bound once (see PathORAMController.__init__).
+        self._c_temp_posmap_inserts = LazyCounter(self.stats, "temp_posmap_inserts")
+        self._c_backups_created = LazyCounter(self.stats, "backups_created")
+        self._c_posmap_persisted = LazyCounter(self.stats, "posmap_entries_persisted")
         # Injection point for the crash harness: called with a label at each
         # persistence-relevant step; raises SimulatedCrash to unwind.
         self.crash_hook = None
@@ -122,7 +127,7 @@ class PSORAMController(PathORAMController):
             self._graduate = None
         new_path = self.rng.randrange(self.posmap.num_leaves)
         self.temp_posmap.set(address, new_path)
-        self.stats.counter("temp_posmap_inserts").add()
+        self._c_temp_posmap_inserts.add()
         self._checkpoint("step2:after-remap")
         return old_path, new_path
 
@@ -140,7 +145,7 @@ class PSORAMController(PathORAMController):
         else:
             backup.source_line = self._stale_line_of.get(target.block.address)
         self.stash.add(backup)
-        self.stats.counter("backups_created").add()
+        self._c_backups_created.add()
         # Now bump the live copy past the backup's version and relabel it.
         super()._after_fetch(target, old_path, new_path)
         self._checkpoint("step4:after-backup")
@@ -233,7 +238,7 @@ class PSORAMController(PathORAMController):
             # graduated label differs from the fresh pending one and stays).
             if self.temp_posmap.get(address) == path:
                 self.temp_posmap.pop(address)
-        self.stats.counter("posmap_entries_persisted").add(len(persisted))
+        self._c_posmap_persisted.add(len(persisted))
         self._finish_eviction(placed)
         self._checkpoint("step5:after-flush")
 
@@ -255,15 +260,17 @@ class PSORAMController(PathORAMController):
         """
         entry_by_block = {id(entry.block): entry for entry in placed}
         writes: List[SlotWrite] = []
-        region = self.tree.region
-        for level, level_blocks in enumerate(assignment):
-            b_idx = bucket_index(path_id, level, self.tree.height)
-            padded = list(level_blocks) + [
-                Block.dummy(self.codec.block_bytes)
-                for _ in range(self.tree.z - len(level_blocks))
-            ]
-            for slot, block in enumerate(padded):
-                line_address = region.slot_address(b_idx, slot)
+        z = self.tree.z
+        encode = self.codec.encode
+        round_ = self._round
+        dummy = Block.dummy_template(self.codec.block_bytes)
+        addresses = self.tree.path_addresses(path_id)
+        cursor = 0
+        for level_blocks in assignment:
+            for slot in range(z):
+                block = level_blocks[slot] if slot < len(level_blocks) else dummy
+                line_address = addresses[cursor]
+                cursor += 1
                 entry = entry_by_block.get(id(block))
                 old_line = None
                 entry_key = None
@@ -271,9 +278,9 @@ class PSORAMController(PathORAMController):
                 if entry is not None and not block.is_dummy:
                     entry_key = block.address
                     is_backup_write = entry.is_backup
-                    if entry.fetch_round == self._round:
+                    if entry.fetch_round == round_:
                         old_line = entry.source_line
-                writes.append(SlotWrite(line_address, self.codec.encode(block),
+                writes.append(SlotWrite(line_address, encode(block),
                                         old_line=old_line, entry_key=entry_key,
                                         is_backup_write=is_backup_write))
         return writes

@@ -24,7 +24,7 @@ from repro.mem.controller import NVMMainMemory
 from repro.mem.persistence import PersistenceDomain
 from repro.mem.request import Access, RequestKind
 from repro.mem.wpq import WritePendingQueue
-from repro.util.stats import StatSet
+from repro.util.stats import LazyCounter, StatSet
 
 #: Payload of a PosMap WPQ entry: (logical address, new path id).
 PosMapPayload = Tuple[int, int]
@@ -64,6 +64,11 @@ class Drainer:
         self._version_line = version_line
         self._version_provider = version_provider
         self.stats = StatSet("drainer")
+        # Bound once: pushes run per slot per eviction round.
+        self._c_rounds_started = LazyCounter(self.stats, "rounds_started")
+        self._c_rounds_committed = LazyCounter(self.stats, "rounds_committed")
+        self._c_blocks_pushed = LazyCounter(self.stats, "blocks_pushed")
+        self._c_entries_pushed = LazyCounter(self.stats, "entries_pushed")
 
     def _record_version(self) -> None:
         if self._version_line is None or self._version_provider is None:
@@ -77,25 +82,25 @@ class Drainer:
         """The drainer's "start" signal: both WPQs open the same round."""
         self.data_wpq.begin_round()
         self.posmap_wpq.begin_round()
-        self.stats.counter("rounds_started").add()
+        self._c_rounds_started.add()
 
     def end(self) -> None:
         """The drainer's "end" signal: the round becomes durable."""
         self.data_wpq.end_round()
         self.posmap_wpq.end_round()
-        self.stats.counter("rounds_committed").add()
+        self._c_rounds_committed.add()
 
     # -- pushes ---------------------------------------------------------------
 
     def push_block(self, line_address: int, wire: bytes) -> None:
         """Queue one encrypted block write."""
         self.data_wpq.push(line_address, wire)
-        self.stats.counter("blocks_pushed").add()
+        self._c_blocks_pushed.add()
 
     def push_posmap_entry(self, line_address: int, address: int, path_id: int) -> None:
         """Queue one dirty PosMap entry."""
         self.posmap_wpq.push(line_address, (address, path_id))
-        self.stats.counter("entries_pushed").add()
+        self._c_entries_pushed.add()
 
     # -- flush ------------------------------------------------------------------
 
@@ -108,22 +113,27 @@ class Drainer:
         one non-coalesced line write each (the paper's persistency model).
         """
         self._record_version()
+        access = self.memory.access
         finish = start_mem_cycle
         for line_address, wire in self.data_wpq.drain():
-            request = self.memory.access(
+            request = access(
                 line_address, Access.WRITE, start_mem_cycle,
                 RequestKind.DATA_PATH, data=wire,
             )
-            finish = max(finish, request.complete_cycle or start_mem_cycle)
+            complete = request.complete_cycle
+            if complete is not None and complete > finish:
+                finish = complete
         for line_address, (address, path_id) in self.posmap_wpq.drain():
             if address >= 0:
                 self._apply_posmap_entry(address, path_id)
             # address < 0: a padding entry (Naive-PS-ORAM writes one line
             # per path slot regardless of content) — timed write only.
-            request = self.memory.access(
+            request = access(
                 line_address, Access.WRITE, start_mem_cycle, posmap_kind
             )
-            finish = max(finish, request.complete_cycle or start_mem_cycle)
+            complete = request.complete_cycle
+            if complete is not None and complete > finish:
+                finish = complete
         return finish
 
     # -- crash -------------------------------------------------------------------

@@ -88,7 +88,9 @@ class FullNVMController(PathORAMController):
                 mem_start,
                 RequestKind.ONCHIP_NVM,
             )
-            finish = max(finish, request.complete_cycle or mem_start)
+            complete = request.complete_cycle
+            if complete is not None and complete > finish:
+                finish = complete
         self._stash_slot_cursor += count
         self.now = self.clock.mem_to_core(finish)
 

@@ -76,7 +76,10 @@ class PlainNVMController:
             request = self.memory.access(
                 line_address, Access.READ, mem_start, RequestKind.PLAIN
             )
-            self.now = self.clock.mem_to_core(request.complete_cycle or mem_start)
+            complete = request.complete_cycle
+            self.now = self.clock.mem_to_core(
+                complete if complete is not None else mem_start
+            )
             stored = self.memory.load_line(line_address)
             result = stored if stored is not None else bytes(self.oram_config.block_bytes)
         return AccessResult(

@@ -76,7 +76,8 @@ class IntentLog:
         request = self.memory.access(
             line, Access.WRITE, now_mem, RequestKind.PERSIST, data=record
         )
-        return request.complete_cycle or now_mem
+        complete = request.complete_cycle
+        return complete if complete is not None else now_mem
 
     def records(self) -> List[Tuple[int, int, int, int]]:
         """All persisted records as (seq, address, old_path, new_path)."""

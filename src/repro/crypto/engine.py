@@ -11,7 +11,7 @@ through the pipeline at one block per ``pipeline_interval`` cycles.
 from __future__ import annotations
 
 from repro.crypto.ctr import CtrCipher
-from repro.util.stats import StatSet
+from repro.util.stats import LazyCounter, StatSet
 
 
 class CryptoEngine:
@@ -26,6 +26,12 @@ class CryptoEngine:
         self.aes_latency_cycles = aes_latency_cycles
         self.pipeline_interval = pipeline_interval
         self.stats = StatSet("crypto")
+        # Counters bound once: encrypt/decrypt run per slot per access, so
+        # a per-call registry lookup is measurable.
+        self._encrypt_ops = LazyCounter(self.stats, "encrypt_ops")
+        self._encrypt_bytes = LazyCounter(self.stats, "encrypt_bytes")
+        self._decrypt_ops = LazyCounter(self.stats, "decrypt_ops")
+        self._decrypt_bytes = LazyCounter(self.stats, "decrypt_bytes")
 
     @property
     def cipher(self) -> CtrCipher:
@@ -34,14 +40,14 @@ class CryptoEngine:
 
     def encrypt(self, plaintext: bytes, iv: int) -> bytes:
         """Encrypt one unit and count it."""
-        self.stats.counter("encrypt_ops").add()
-        self.stats.counter("encrypt_bytes").add(len(plaintext))
+        self._encrypt_ops.add()
+        self._encrypt_bytes.add(len(plaintext))
         return self._cipher.encrypt(plaintext, iv)
 
     def decrypt(self, ciphertext: bytes, iv: int) -> bytes:
         """Decrypt one unit and count it."""
-        self.stats.counter("decrypt_ops").add()
-        self.stats.counter("decrypt_bytes").add(len(ciphertext))
+        self._decrypt_ops.add()
+        self._decrypt_bytes.add(len(ciphertext))
         return self._cipher.decrypt(ciphertext, iv)
 
     def batch_latency_cycles(self, num_blocks: int) -> int:

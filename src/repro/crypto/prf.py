@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import hashlib
 
+#: LE64 encoding of counter 0, hoisted for the single-digest fast path.
+_COUNTER0 = (0).to_bytes(8, "little")
+
 
 class Prf:
     """Keyed PRF: ``bytes -> digest_size bytes``."""
@@ -32,16 +35,45 @@ class Prf:
         return h.digest()
 
     def keystream(self, nonce: bytes, length: int) -> bytes:
-        """``length`` keystream bytes derived from ``nonce`` in counter mode."""
+        """``length`` keystream bytes derived from ``nonce`` in counter mode.
+
+        The output is a frozen wire format (tests/test_crypto_golden.py):
+        block ``i`` is ``BLAKE2b(nonce || LE64(i))`` at this PRF's digest
+        size, truncated to ``length``.  A wider one-shot digest would be
+        faster still but changes every ciphertext (the digest size is part
+        of BLAKE2b's parameter block), so optimizations here must keep the
+        per-counter digest structure.
+        """
         if length < 0:
             raise ValueError(f"keystream length must be >= 0, got {length}")
-        out = bytearray()
+        if length == 0:
+            return b""
+        blake2b = hashlib.blake2b
+        key = self._key
+        digest_size = self._digest_size
+        if length <= digest_size:
+            # One digest covers the request (the common case for headers
+            # and MAC-sized outputs): no buffer assembly at all.
+            digest = blake2b(
+                nonce + _COUNTER0, key=key, digest_size=digest_size
+            ).digest()
+            return digest if length == digest_size else digest[:length]
+        out = bytearray(length)  # preallocated; no quadratic regrowth
+        pos = 0
         counter = 0
-        while len(out) < length:
-            block = self.evaluate(nonce + counter.to_bytes(8, "little"))
-            out.extend(block)
+        while pos < length:
+            block = blake2b(
+                nonce + counter.to_bytes(8, "little"), key=key, digest_size=digest_size
+            ).digest()
+            take = length - pos
+            if take >= digest_size:
+                out[pos : pos + digest_size] = block
+                pos += digest_size
+            else:
+                out[pos:] = block[:take]
+                pos = length
             counter += 1
-        return bytes(out[:length])
+        return bytes(out)
 
     def derive(self, label: str) -> "Prf":
         """Derive an independent PRF keyed by ``label`` (domain separation)."""

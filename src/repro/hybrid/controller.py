@@ -56,7 +56,9 @@ class _HybridTree(ORAMTree):
                 address = self.region.slot_address(b_idx, slot)
                 target = self.dram if self.treetop.is_dram(address) else self.memory
                 request = target.access(address, Access.READ, start_cycle, self.kind)
-                finish = max(finish, request.complete_cycle or start_cycle)
+                complete = request.complete_cycle
+                if complete is not None and complete > finish:
+                    finish = complete
                 blocks.append(self.load_slot(b_idx, slot))
         return blocks, finish
 

@@ -148,7 +148,9 @@ class NVMMainMemory:
         finish = arrival_cycle
         for address in addresses:
             request = self.access(address, access, arrival_cycle, kind)
-            finish = max(finish, request.complete_cycle or arrival_cycle)
+            complete = request.complete_cycle
+            if complete is not None and complete > finish:
+                finish = complete
         return finish
 
     # -- maintenance ---------------------------------------------------------

@@ -42,14 +42,17 @@ class TrafficMeter:
         """
         self.bits_written += 8 * len(new)
         if not old:
-            self.bits_flipped += sum(bin(b).count("1") for b in new)
+            self.bits_flipped += int.from_bytes(new, "little").bit_count()
             return
-        for old_byte, new_byte in zip(old, new):
-            self.bits_flipped += bin(old_byte ^ new_byte).count("1")
-        if len(new) > len(old):
-            self.bits_flipped += sum(
-                bin(b).count("1") for b in new[len(old):]
-            )
+        if len(old) > len(new):
+            # Bytes beyond the new content are not rewritten; only the
+            # overlapping prefix can flip cells.
+            old = old[: len(new)]
+        # A single big-int XOR + popcount; bytes of `new` past the end of
+        # `old` XOR against zero, counting their own set bits.
+        self.bits_flipped += (
+            int.from_bytes(old, "little") ^ int.from_bytes(new, "little")
+        ).bit_count()
 
     @property
     def flip_rate(self) -> float:

@@ -156,7 +156,8 @@ class StartGapRemapper:
             self._writes_since_move += 1
             if self._writes_since_move >= self.gap_period:
                 self._writes_since_move = 0
-                self._move_gap(request.complete_cycle or arrival_cycle)
+                complete = request.complete_cycle
+                self._move_gap(complete if complete is not None else arrival_cycle)
         return request
 
     def _tapped_store(self, address: int, data: bytes) -> None:

@@ -32,6 +32,25 @@ DUMMY_ADDRESS = -1
 _HEADER_BYTES = 24  # address (8) + path id (8) + version (8)
 _IV_BYTES = 8
 
+#: Shared read-only dummy instances, keyed by payload size.
+_DUMMY_TEMPLATES: dict = {}
+
+
+def _raw_block(address: int, path_id: int, data: bytes, version: int) -> "Block":
+    """Construct a Block without __init__ validation.
+
+    Used only where the fields were just produced by a MAC-verified
+    decrypt, so the range checks in ``__post_init__`` are redundant;
+    skipping dataclass initialization is a measurable win at one header
+    decode per slot per access.
+    """
+    block = Block.__new__(Block)
+    block.address = address
+    block.path_id = path_id
+    block.data = data
+    block.version = version
+    return block
+
 
 @dataclass
 class Block:
@@ -50,6 +69,22 @@ class Block:
     def dummy(block_bytes: int, path_id: int = 0) -> "Block":
         """A dummy block (zero payload, sentinel address)."""
         return Block(address=DUMMY_ADDRESS, path_id=path_id, data=bytes(block_bytes))
+
+    @staticmethod
+    def dummy_template(block_bytes: int) -> "Block":
+        """A shared dummy-block instance for hot paths.
+
+        Path reads and write-back padding materialize ``Z * (L + 1)`` dummy
+        blocks per access; every consumer treats them as read-only, so one
+        cached instance per size replaces millions of allocations.  Callers
+        that hand blocks to code which may mutate them must use
+        :meth:`dummy` instead.
+        """
+        block = _DUMMY_TEMPLATES.get(block_bytes)
+        if block is None:
+            block = Block.dummy(block_bytes)
+            _DUMMY_TEMPLATES[block_bytes] = block
+        return block
 
     def copy(self) -> "Block":
         """Deep copy (payload bytes are immutable, so a field copy suffices)."""
@@ -80,12 +115,22 @@ class BlockCodec:
         self._engine = engine
         self.block_bytes = block_bytes
         self._iv_counter = 1
+        # The dummy-block header (sentinel address, label 0, version 0) is
+        # a constant per codec; padding writes encode it Z*(L+1) times per
+        # access.
+        self._dummy_header = (
+            DUMMY_ADDRESS.to_bytes(8, "little", signed=True)
+            + (0).to_bytes(8, "little")
+            + (0).to_bytes(8, "little")
+        )
+        self._mac_bytes = engine.cipher.MAC_BYTES
+        self._header_end = 2 * _IV_BYTES + _HEADER_BYTES + self._mac_bytes
+        self._wire_bytes = self._header_end + block_bytes + self._mac_bytes
 
     @property
     def wire_bytes(self) -> int:
         """Stored size of one encrypted block."""
-        mac = self._engine.cipher.MAC_BYTES
-        return 2 * _IV_BYTES + (_HEADER_BYTES + mac) + (self.block_bytes + mac)
+        return self._wire_bytes
 
     def _next_iv(self) -> int:
         iv = self._iv_counter
@@ -98,15 +143,21 @@ class BlockCodec:
             raise ValueError(
                 f"payload is {len(block.data)} bytes, expected {self.block_bytes}"
             )
-        iv1 = self._next_iv()
-        iv2 = self._next_iv()
-        header = (
-            block.address.to_bytes(8, "little", signed=True)
-            + block.path_id.to_bytes(8, "little", signed=False)
-            + block.version.to_bytes(8, "little", signed=False)
-        )
-        enc_header = self._engine.encrypt(header, iv1)
-        enc_data = self._engine.encrypt(block.data, iv2)
+        iv_counter = self._iv_counter
+        iv1 = iv_counter
+        iv2 = iv_counter + 1
+        self._iv_counter = iv_counter + 2
+        if block.address == DUMMY_ADDRESS and block.path_id == 0 and block.version == 0:
+            header = self._dummy_header
+        else:
+            header = (
+                block.address.to_bytes(8, "little", signed=True)
+                + block.path_id.to_bytes(8, "little", signed=False)
+                + block.version.to_bytes(8, "little", signed=False)
+            )
+        engine = self._engine
+        enc_header = engine.encrypt(header, iv1)
+        enc_data = engine.encrypt(block.data, iv2)
         return (
             iv1.to_bytes(_IV_BYTES, "little")
             + iv2.to_bytes(_IV_BYTES, "little")
@@ -118,16 +169,18 @@ class BlockCodec:
         """Decrypt a wire-format block."""
         if len(wire) != self.wire_bytes:
             raise ValueError(f"wire block is {len(wire)} bytes, expected {self.wire_bytes}")
-        mac = self._engine.cipher.MAC_BYTES
+        header_end = self._header_end
         iv1 = int.from_bytes(wire[:_IV_BYTES], "little")
         iv2 = int.from_bytes(wire[_IV_BYTES : 2 * _IV_BYTES], "little")
-        header_end = 2 * _IV_BYTES + _HEADER_BYTES + mac
-        header = self._engine.decrypt(wire[2 * _IV_BYTES : header_end], iv1)
-        data = self._engine.decrypt(wire[header_end:], iv2)
-        address = int.from_bytes(header[0:8], "little", signed=True)
-        path_id = int.from_bytes(header[8:16], "little", signed=False)
-        version = int.from_bytes(header[16:24], "little", signed=False)
-        return Block(address=address, path_id=path_id, data=data, version=version)
+        engine = self._engine
+        header = engine.decrypt(wire[2 * _IV_BYTES : header_end], iv1)
+        data = engine.decrypt(wire[header_end:], iv2)
+        return _raw_block(
+            int.from_bytes(header[0:8], "little", signed=True),
+            int.from_bytes(header[8:16], "little", signed=False),
+            data,
+            int.from_bytes(header[16:24], "little", signed=False),
+        )
 
     def decode_header(self, wire: bytes) -> Block:
         """Decrypt only the header (payload left zeroed).
@@ -135,11 +188,12 @@ class BlockCodec:
         Models the controller peeking at headers to find the block of
         interest before the full payload decrypt; also used by recovery.
         """
-        mac = self._engine.cipher.MAC_BYTES
+        header_end = self._header_end
         iv1 = int.from_bytes(wire[:_IV_BYTES], "little")
-        header_end = 2 * _IV_BYTES + _HEADER_BYTES + mac
         header = self._engine.decrypt(wire[2 * _IV_BYTES : header_end], iv1)
-        address = int.from_bytes(header[0:8], "little", signed=True)
-        path_id = int.from_bytes(header[8:16], "little", signed=False)
-        version = int.from_bytes(header[16:24], "little", signed=False)
-        return Block(address=address, path_id=path_id, data=bytes(self.block_bytes), version=version)
+        return _raw_block(
+            int.from_bytes(header[0:8], "little", signed=True),
+            int.from_bytes(header[8:16], "little", signed=False),
+            bytes(self.block_bytes),
+            int.from_bytes(header[16:24], "little", signed=False),
+        )

@@ -23,6 +23,7 @@ advance, so crash tests and performance benches exercise one code path.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -31,15 +32,19 @@ from repro.crypto.engine import CryptoEngine
 from repro.errors import InvalidAddressError
 from repro.mem.controller import NVMMainMemory
 from repro.mem.request import RequestKind
-from repro.oram.block import Block, BlockCodec
+from repro.oram.block import DUMMY_ADDRESS, Block, BlockCodec
 from repro.oram.layout import MemoryLayout
 from repro.oram.posmap import PersistentPosMapImage, PositionMap
 from repro.oram.stash import Stash, StashEntry
 from repro.oram.tree import ORAMTree
-from repro.util.bitops import bucket_index, lowest_common_level
 from repro.util.clock import ClockDomain
 from repro.util.rng import DeterministicRNG
-from repro.util.stats import StatSet
+from repro.util.stats import LazyCounter, StatSet
+
+
+#: Sort key for eviction-planner candidates: (resident, depth), ignoring
+#: the entry itself so ties keep stash order (stable sort).
+_PLAN_SORT_KEY = operator.itemgetter(0, 1)
 
 
 @dataclass
@@ -124,6 +129,15 @@ class PathORAMController:
         # Per-path-read map: address -> line of a skipped stale on-path copy.
         self._stale_line_of: Dict[int, int] = {}
         self.stats = StatSet(name)
+        # Hot-path counters bound once; the registry lookup per event is
+        # measurable at one access = dozens of counter bumps.
+        self._c_accesses = LazyCounter(self.stats, "accesses")
+        self._c_reads = LazyCounter(self.stats, "reads")
+        self._c_writes = LazyCounter(self.stats, "writes")
+        self._c_stash_hits = LazyCounter(self.stats, "stash_hits")
+        self._c_cold_misses = LazyCounter(self.stats, "cold_misses")
+        self._c_stale_dropped = LazyCounter(self.stats, "stale_copies_dropped")
+        self._c_evicted = LazyCounter(self.stats, "evicted_blocks")
 
     # ------------------------------------------------------------------
     # public API
@@ -166,11 +180,11 @@ class PathORAMController:
             payload = self._normalize_payload(is_write, data)
         start = self.now if start_cycle is None else max(self.now, start_cycle)
         self.now = start + self.ONCHIP_LOOKUP_CYCLES
-        self.stats.counter("accesses").add()
+        self._c_accesses.add()
         if is_write:
-            self.stats.counter("writes").add()
+            self._c_writes.add()
         else:
-            self.stats.counter("reads").add()
+            self._c_reads.add()
 
         self._round += 1
 
@@ -178,7 +192,7 @@ class PathORAMController:
         entry = self.stash.find(address)
         if entry is not None and self._allow_stash_hit_return(entry, is_write or mutator is not None):
             result_data = self._apply_program_op(entry, is_write, payload, mutator)
-            self.stats.counter("stash_hits").add()
+            self._c_stash_hits.add()
             return AccessResult(
                 address=address,
                 is_write=is_write,
@@ -264,7 +278,7 @@ class PathORAMController:
 
         target = self.stash.find(target_address)
         if target is None:
-            self.stats.counter("cold_misses").add()
+            self._c_cold_misses.add()
             block = Block(
                 address=target_address,
                 path_id=new_path,
@@ -297,21 +311,20 @@ class PathORAMController:
         absorbed entry records the NVM line it came from.
         """
         best: Dict[int, Tuple[Block, Optional[int]]] = {}
-        z = self.tree.z
         self._stale_line_of.clear()
+        path_addresses = (
+            self.tree.path_addresses(path_id) if path_id is not None else None
+        )
         for index, block in enumerate(blocks):
-            if block.is_dummy:
+            if block.address == DUMMY_ADDRESS:
                 continue
-            source_line: Optional[int] = None
-            if path_id is not None:
-                b_idx = bucket_index(path_id, index // z, self.tree.height)
-                source_line = self.tree.region.slot_address(b_idx, index % z)
+            source_line = path_addresses[index] if path_addresses is not None else None
             current = best.get(block.address)
             if current is None or block.version > current[0].version:
                 best[block.address] = (block, source_line)
         for address, (block, source_line) in best.items():
             if self.stash.find(address) is not None:
-                self.stats.counter("stale_copies_dropped").add()
+                self._c_stale_dropped.add()
                 # Remember where the on-path stale copy of a stash-resident
                 # block sits: for a backed-up block this is its current
                 # durable copy, which the limited-WPQ eviction must not
@@ -321,7 +334,7 @@ class PathORAMController:
                 continue
             expected = self._position_of(address)
             if address != target_address and block.path_id != expected:
-                self.stats.counter("stale_copies_dropped").add()
+                self._c_stale_dropped.add()
                 continue
             self.stash.add(
                 StashEntry(block, fetch_round=self._round, source_line=source_line)
@@ -408,17 +421,23 @@ class PathORAMController:
         # copy is being overwritten by this very write-back, so they must
         # not lose a slot race against long-resident stash blocks (the
         # Figure-3 hazard).  Within each class, deepest-first.
-        def priority(entry: StashEntry):
-            resident = entry.is_backup or entry.fetch_round == self._round
-            depth = lowest_common_level(path_id, entry.block.path_id, height)
-            return (resident, depth)
-
-        candidates = sorted(self.stash.entries(), key=priority, reverse=True)
-        for entry in candidates:
-            deepest = lowest_common_level(path_id, entry.block.path_id, height)
+        #
+        # The deepest legal level (lowest_common_level, inlined to its
+        # XOR/bit-length form) is computed once per entry and reused for
+        # both the sort key and the placement scan.
+        round_ = self._round
+        decorated = []
+        for entry in self.stash.entries():
+            diff = path_id ^ entry.block.path_id
+            depth = height if diff == 0 else height - diff.bit_length()
+            resident = entry.is_backup or entry.fetch_round == round_
+            decorated.append((resident, depth, entry))
+        decorated.sort(key=_PLAN_SORT_KEY, reverse=True)
+        for _resident, deepest, entry in decorated:
             for level in range(deepest, -1, -1):
-                if len(assignment[level]) < z:
-                    assignment[level].append(entry.block)
+                bucket = assignment[level]
+                if len(bucket) < z:
+                    bucket.append(entry.block)
                     placed.append(entry)
                     break
         return assignment, placed
@@ -427,7 +446,7 @@ class PathORAMController:
         """Remove evicted entries from the stash and update stats."""
         for entry in placed:
             self.stash.remove(entry)
-        self.stats.counter("evicted_blocks").add(len(placed))
+        self._c_evicted.add(len(placed))
         self.stats.histogram("post_evict_stash").record(self.stash.occupancy)
 
     # ------------------------------------------------------------------

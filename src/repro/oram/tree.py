@@ -12,6 +12,7 @@ caller (the ORAM controller) owns clock-domain conversion.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.mem.controller import NVMMainMemory
@@ -19,7 +20,28 @@ from repro.mem.request import Access, RequestKind
 from repro.oram.block import Block, BlockCodec
 from repro.oram.bucket import Bucket
 from repro.oram.layout import TreeRegion
-from repro.util.bitops import bucket_index
+
+
+@lru_cache(maxsize=8192)
+def _path_slot_addresses(region: TreeRegion, path_id: int) -> Tuple[int, ...]:
+    """Line addresses of every slot on a path, root-first, slot-major.
+
+    ``TreeRegion`` is a frozen (hashable) dataclass, so the cache key is
+    effectively ``(base, height, z, line_bytes, path_id)``.  Every timed
+    path access needs these ``Z * (L + 1)`` addresses; computing them once
+    per (region, path) removes the per-slot index math and range checks
+    from the hot loop.
+    """
+    height = region.height
+    z = region.z
+    base = region.base
+    line = region.line_bytes
+    addresses: List[int] = []
+    for level in range(height + 1):
+        bucket = (1 << level) - 1 + (path_id >> (height - level))
+        first = base + bucket * z * line
+        addresses.extend(first + slot * line for slot in range(z))
+    return tuple(addresses)
 
 
 class ORAMTree:
@@ -50,6 +72,10 @@ class ORAMTree:
         """Slots on one path: Z * (height + 1)."""
         return self.z * (self.height + 1)
 
+    def path_addresses(self, path_id: int) -> Tuple[int, ...]:
+        """Cached line addresses of every slot on a path (root-first)."""
+        return _path_slot_addresses(self.region, path_id)
+
     # -- functional (untimed) access -------------------------------------------
 
     def load_slot(self, bucket_idx: int, slot: int) -> Block:
@@ -78,30 +104,35 @@ class ORAMTree:
         Returns ``(blocks, finish_cycle)`` with blocks ordered root-first.
         One timed line read is issued per slot.
         """
+        memory = self.memory
+        access = memory.access
+        load_line = memory.load_line
+        decode = self.codec.decode
+        kind = self.kind
+        dummy = Block.dummy_template(self.codec.block_bytes)
         blocks: List[Block] = []
+        append = blocks.append
         finish = start_cycle
-        for level in range(self.height + 1):
-            b_idx = bucket_index(path_id, level, self.height)
-            for slot in range(self.z):
-                address = self.region.slot_address(b_idx, slot)
-                request = self.memory.access(address, Access.READ, start_cycle, self.kind)
-                finish = max(finish, request.complete_cycle or start_cycle)
-                blocks.append(self.load_slot(b_idx, slot))
+        for address in _path_slot_addresses(self.region, path_id):
+            request = access(address, Access.READ, start_cycle, kind)
+            complete = request.complete_cycle
+            # `is not None` (not truthiness): a legitimate completion at
+            # cycle 0 must not be discarded.
+            if complete is not None and complete > finish:
+                finish = complete
+            wire = load_line(address)
+            append(dummy if wire is None else decode(wire))
         return blocks, finish
 
     def read_path_headers(self, path_id: int) -> List[Block]:
         """Functional header-only scan of a path (used by recovery)."""
-        blocks: List[Block] = []
-        for level in range(self.height + 1):
-            b_idx = bucket_index(path_id, level, self.height)
-            for slot in range(self.z):
-                address = self.region.slot_address(b_idx, slot)
-                wire = self.memory.load_line(address)
-                if wire is None:
-                    blocks.append(Block.dummy(self.codec.block_bytes))
-                else:
-                    blocks.append(self.codec.decode_header(wire))
-        return blocks
+        load_line = self.memory.load_line
+        decode_header = self.codec.decode_header
+        dummy = Block.dummy_template(self.codec.block_bytes)
+        return [
+            dummy if (wire := load_line(address)) is None else decode_header(wire)
+            for address in _path_slot_addresses(self.region, path_id)
+        ]
 
     def write_path(
         self,
@@ -121,21 +152,27 @@ class ORAMTree:
             raise ValueError(
                 f"assignment has {len(assignment)} levels, expected {self.height + 1}"
             )
+        z = self.z
+        access = self.memory.access
+        encode = self.codec.encode
+        kind = self.kind
+        dummy = Block.dummy_template(self.codec.block_bytes)
+        addresses = _path_slot_addresses(self.region, path_id)
         finish = start_cycle
+        cursor = 0
         for level, placed in enumerate(assignment):
-            if len(placed) > self.z:
-                raise ValueError(f"level {level} assigned {len(placed)} > Z={self.z} blocks")
-            b_idx = bucket_index(path_id, level, self.height)
-            padded = list(placed) + [
-                Block.dummy(self.codec.block_bytes) for _ in range(self.z - len(placed))
-            ]
-            for slot, block in enumerate(padded):
-                address = self.region.slot_address(b_idx, slot)
-                wire = self.codec.encode(block)
-                request = self.memory.access(
-                    address, Access.WRITE, start_cycle, self.kind, data=wire
+            if len(placed) > z:
+                raise ValueError(f"level {level} assigned {len(placed)} > Z={z} blocks")
+            for slot in range(z):
+                block = placed[slot] if slot < len(placed) else dummy
+                request = access(
+                    addresses[cursor], Access.WRITE, start_cycle, kind,
+                    data=encode(block),
                 )
-                finish = max(finish, request.complete_cycle or start_cycle)
+                cursor += 1
+                complete = request.complete_cycle
+                if complete is not None and complete > finish:
+                    finish = complete
         return finish
 
     # -- diagnostics -------------------------------------------------------------

@@ -11,6 +11,7 @@ Options::
     python -m repro --only fig5a     # one experiment id
     python -m repro --jobs 4         # parallel sweep points (repro.exec)
     python -m repro --no-cache       # ignore the on-disk result cache
+    python -m repro --profile 30     # cProfile the run, print top 30
 """
 
 from __future__ import annotations
@@ -209,16 +210,47 @@ def main(argv: Sequence[str] = None) -> int:
                              "(see docs/PARALLEL.md)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the on-disk result cache")
+    parser.add_argument("--profile", type=int, nargs="?", const=25, default=None,
+                        metavar="N",
+                        help="run under cProfile and print the top N "
+                             "functions by cumulative time (default N: 25; "
+                             "see docs/PERF.md)")
     args = parser.parse_args(argv)
     if args.full and args.quick:
         parser.error("--full and --quick are mutually exclusive")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.profile is not None and args.profile < 1:
+        parser.error(f"--profile must be >= 1, got {args.profile}")
     args.workloads = list(FULL_WORKLOADS if args.full else BENCH_WORKLOADS)
     set_execution_defaults(
         jobs=args.jobs, use_cache=False if args.no_cache else None
     )
 
+    if args.profile is not None:
+        return _run_profiled(args)
+    return _run_experiments(args)
+
+
+def _run_profiled(args) -> int:
+    """Run the selected experiments under cProfile, then print the top-N
+    functions by cumulative time (profiling only covers the parent
+    process — pair with ``--jobs 1``, the default, for full coverage)."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = _run_experiments(args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(args.profile)
+    return status
+
+
+def _run_experiments(args) -> int:
     todo: List[str] = [args.only] if args.only else list(EXPERIMENTS)
     for index, name in enumerate(todo):
         started = time.time()

@@ -32,12 +32,11 @@ from repro.crypto.engine import CryptoEngine
 from repro.errors import InvalidAddressError
 from repro.mem.controller import NVMMainMemory
 from repro.oram.block import Block, BlockCodec
-from repro.oram.controller import AccessResult
+from repro.oram.controller import _PLAN_SORT_KEY, AccessResult
 from repro.oram.posmap import PersistentPosMapImage, PositionMap
 from repro.oram.stash import Stash, StashEntry
 from repro.ring.metadata import DUMMY_SLOT, BucketMetadata
 from repro.ring.tree import RingBucketStore, RingLayout, RingParams
-from repro.util.bitops import lowest_common_level
 from repro.util.clock import ClockDomain
 from repro.util.rng import DeterministicRNG
 from repro.util.stats import StatSet
@@ -295,19 +294,25 @@ class RingORAMController:
     def _plan_eviction(self, path_id: int):
         """Greedy deepest-first packing, Z real blocks per bucket."""
         height = self.store.height
+        z = self.params.z
         assignment: List[List[Block]] = [[] for _ in range(height + 1)]
         placed: List[StashEntry] = []
-
-        def priority(entry: StashEntry):
-            resident = entry.is_backup or entry.fetch_round == self._round
-            return (resident,
-                    lowest_common_level(path_id, entry.block.path_id, height))
-
-        for entry in sorted(self.stash.entries(), key=priority, reverse=True):
-            deepest = lowest_common_level(path_id, entry.block.path_id, height)
+        # As in the Path ORAM planner: the deepest legal level is computed
+        # once per entry (XOR/bit-length form of lowest_common_level) and
+        # shared between the sort key and the placement scan.
+        round_ = self._round
+        decorated = []
+        for entry in self.stash.entries():
+            diff = path_id ^ entry.block.path_id
+            depth = height if diff == 0 else height - diff.bit_length()
+            resident = entry.is_backup or entry.fetch_round == round_
+            decorated.append((resident, depth, entry))
+        decorated.sort(key=_PLAN_SORT_KEY, reverse=True)
+        for _resident, deepest, entry in decorated:
             for level in range(deepest, -1, -1):
-                if len(assignment[level]) < self.params.z:
-                    assignment[level].append(entry.block)
+                bucket = assignment[level]
+                if len(bucket) < z:
+                    bucket.append(entry.block)
                     placed.append(entry)
                     break
         return assignment, placed

@@ -38,6 +38,36 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class LazyCounter:
+    """A pre-bound counter handle that registers on first increment.
+
+    Hot components bind their counters once at init instead of paying a
+    registry lookup per event — but an eagerly *registered* counter would
+    surface in :meth:`StatSet.snapshot` before it ever fired, changing
+    result records for runs where the event never happens.  This handle
+    keeps the registry's lazy-creation contract: the underlying
+    :class:`Counter` is created on the first :meth:`add`, after which every
+    bump is a plain attribute increment.
+    """
+
+    __slots__ = ("_stats", "_name", "_counter")
+
+    def __init__(self, stats: "StatSet", name: str):
+        self._stats = stats
+        self._name = name
+        self._counter: Optional[Counter] = None
+
+    def add(self, amount: int = 1) -> None:
+        counter = self._counter
+        if counter is None:
+            counter = self._counter = self._stats.counter(self._name)
+        counter.value += amount
+
+    @property
+    def value(self) -> int:
+        return self._counter.value if self._counter is not None else 0
+
+
 class Histogram:
     """A streaming histogram: exact by default, bounded on request.
 
