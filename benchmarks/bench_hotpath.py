@@ -46,23 +46,13 @@ QUICK_MEASURED = 120
 DEFAULT_FLOOR = 60.0
 
 
-def _controller_classes():
-    from repro.core.recursive_ps import RcrPSORAMController
-    from repro.core.controller import PSORAMController
-    from repro.oram.controller import PathORAMController
-
-    return {
-        "baseline": PathORAMController,
-        "ps": PSORAMController,
-        "rcr-ps": RcrPSORAMController,
-    }
-
-
 def bench_variant(
     name: str, warmup: int, measured: int, height: int = BENCH_HEIGHT
 ) -> Dict[str, float]:
     """Time ``measured`` accesses of one variant after ``warmup``."""
-    controller = _controller_classes()[name](small_config(height=height))
+    from repro.core.variants import build_variant
+
+    controller = build_variant(name, small_config(height=height))
     rng = DeterministicRNG(99)
 
     def one() -> None:

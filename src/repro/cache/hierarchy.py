@@ -21,7 +21,7 @@ class CacheHierarchy:
         self.l1 = SetAssociativeCache(l1)
         self.l2 = SetAssociativeCache(l2)
 
-    def access(self, address: int, is_write: bool) -> Tuple[bool, List[Tuple[int, bool]]]:
+    def reference(self, address: int, is_write: bool) -> Tuple[bool, List[Tuple[int, bool]]]:
         """Run one CPU access through L1 then L2.
 
         Returns ``(llc_miss, memory_requests)`` where ``memory_requests`` is a
@@ -29,15 +29,15 @@ class CacheHierarchy:
         at most one demand fill plus any dirty writebacks evicted on the way.
         """
         memory_requests: List[Tuple[int, bool]] = []
-        l1_hit, l1_wb = self.l1.access(address, is_write)
+        l1_hit, l1_wb = self.l1.reference(address, is_write)
         if l1_hit:
             return False, memory_requests
         if l1_wb is not None:
             # L1 victim is installed into L2 (write-back, write-allocate).
-            _, l2_victim = self.l2.access(l1_wb, True)
+            _, l2_victim = self.l2.reference(l1_wb, True)
             if l2_victim is not None:
                 memory_requests.append((l2_victim, True))
-        l2_hit, l2_wb = self.l2.access(address, is_write)
+        l2_hit, l2_wb = self.l2.reference(address, is_write)
         if l2_wb is not None:
             memory_requests.append((l2_wb, True))
         if l2_hit:

@@ -36,8 +36,8 @@ class SetAssociativeCache:
         line = self._sets[set_idx].get(tag)
         return line is not None and line.valid
 
-    def access(self, address: int, is_write: bool) -> Tuple[bool, Optional[int]]:
-        """Access the cache.
+    def reference(self, address: int, is_write: bool) -> Tuple[bool, Optional[int]]:
+        """Reference one line (the side-effecting cache access).
 
         Returns ``(hit, writeback_address)``: ``writeback_address`` is the
         full byte address of a dirty line evicted to make room, or ``None``.

@@ -1,44 +1,16 @@
-"""PS-ORAM controller — the paper's core contribution (Section 4.2).
+"""PS-ORAM controller: the Path hierarchy + the dirty-entry PS policy.
 
-Extends the baseline Path ORAM controller with the four crash-consistency
-mechanisms:
-
-* **temporary PosMap** (step 2): fresh path ids are parked on-chip; the
-  persistent PosMap keeps pointing at a durable copy of the block.
-* **backup block** (step 4): the accessed block's current content is cloned
-  with its *old* label and written back onto the old path in the same
-  eviction round, so a durable copy always exists.
-* **atomic dual-WPQ eviction** (step 5-A/B/C): the full-path write and the
-  dirty PosMap entries commit in one drainer-bracketed round.
-* **dirty-entry persistence**: only PosMap entries whose blocks were just
-  durably evicted are flushed (Naive-PS-ORAM flushes all ``Z*(L+1)``).
-
-Durability contract this implementation provides (verified by the crash
-test-suite): when :meth:`access` returns, the access's effect is durable —
-a crash at *any* later point recovers the written value.  A crash in the
-middle of an access atomically rolls the whole access back.  This is
-slightly stronger than the paper states (it never pins down when a write
-becomes durable); the stash-hit-write path performs a full access for this
-reason (see :meth:`_allow_stash_hit_return`).
+The crash-consistency protocol itself (temporary PosMap, backup block,
+atomic dual-WPQ drainer rounds, dirty-entry PosMap persistence — paper
+Section 4.2) lives in :class:`repro.engine.ps.DirtyEntryPSPolicy`; this
+module assembles it with the Path hierarchy under the historical class
+name.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
-
-from repro.config import SystemConfig
-from repro.core.backup import make_backup_entry
-from repro.core.drainer import Drainer
-from repro.core.ordered_eviction import SlotWrite, plan_rounds
-from repro.core.temp_posmap import TempPosMap
-from repro.errors import RecoveryError
-from repro.mem.controller import NVMMainMemory
-from repro.mem.request import RequestKind
-from repro.oram.block import Block
+from repro.engine.ps import DirtyEntryPSPolicy, PS_CRASH_POINTS  # noqa: F401
 from repro.oram.controller import PathORAMController
-from repro.oram.stash import StashEntry
-from repro.util.bitops import bucket_index
-from repro.util.stats import LazyCounter
 
 
 class PSORAMController(PathORAMController):
@@ -52,399 +24,6 @@ class PSORAMController(PathORAMController):
     #: eviction for breaking slot-permutation cycles longer than the WPQ.
     BOUNCE_LINES = 16
 
-    def __init__(
-        self,
-        config: SystemConfig,
-        memory: Optional[NVMMainMemory] = None,
-        key: bytes = b"repro-psoram-key",
-        **kwargs,
-    ):
-        super().__init__(config, memory=memory, key=key, **kwargs)
-        self.temp_posmap = TempPosMap(self.oram_config.temp_posmap_capacity)
-        region = self.persistent_posmap.region
-        self._version_line = region.base + region.size_bytes
-        line = self.oram_config.block_bytes
-        self._bounce_lines = [
-            self._version_line + (1 + i) * line for i in range(self.BOUNCE_LINES)
-        ]
-        self.drainer = Drainer(
-            self.memory,
-            data_capacity=max(config.wpq.data_entries, 1),
-            posmap_capacity=max(config.wpq.posmap_entries, 1),
-            apply_posmap_entry=self._commit_posmap_entry,
-            version_line=self._version_line,
-            version_provider=lambda: self._version,
-        )
-        # Pending label graduation from a stash-hit write (see _remap).
-        self._graduate: Optional[Tuple[int, int]] = None
-        # Per-access counters, bound once (see PathORAMController.__init__).
-        self._c_temp_posmap_inserts = LazyCounter(self.stats, "temp_posmap_inserts")
-        self._c_backups_created = LazyCounter(self.stats, "backups_created")
-        self._c_posmap_persisted = LazyCounter(self.stats, "posmap_entries_persisted")
-        # Injection point for the crash harness: called with a label at each
-        # persistence-relevant step; raises SimulatedCrash to unwind.
-        self.crash_hook = None
-
-    # ------------------------------------------------------------------
-    # protocol overrides
-    # ------------------------------------------------------------------
-
-    def _allow_stash_hit_return(self, entry: StashEntry, mutates: bool) -> bool:
-        # Reads may short-circuit; writes run the full protocol so the new
-        # value is durable when the access returns.
-        return not mutates
-
-    def _position_of(self, address: int) -> int:
-        """Architecturally current mapping: temporary PosMap first."""
-        pending = self.temp_posmap.get(address)
-        if pending is not None:
-            return pending
-        return self.posmap.get(address)
-
-    def _remap(self, address: int) -> Tuple[int, int]:
-        """Step 2: backup label — the new path id goes to the temp PosMap.
-
-        The *old* path returned for the path read is normally the
-        persistent PosMap's value (where recovery will look, so where the
-        backup must land).  When the block is still stash-resident with a
-        *pending* remap — a stash-hit write — re-reading the persistent
-        label would repeat an already-observed path (a leak).  Instead the
-        pending label is read (fresh, never revealed) and **graduates** to
-        persistent in the same atomic round that writes the backup onto it,
-        so recovery stays sound and every observed path id is a fresh
-        uniform draw.
-        """
-        self._checkpoint("step2:before-remap")
-        if self.temp_posmap.is_full:
-            self._relieve_temp_posmap()
-        pending = self.temp_posmap.get(address)
-        if pending is not None:
-            old_path = pending
-            self._graduate = (address, pending)
-            self.stats.counter("labels_graduated").add()
-        else:
-            old_path = self.posmap.get(address)
-            self._graduate = None
-        new_path = self.rng.randrange(self.posmap.num_leaves)
-        self.temp_posmap.set(address, new_path)
-        self._c_temp_posmap_inserts.add()
-        self._checkpoint("step2:after-remap")
-        return old_path, new_path
-
-    def _after_fetch(self, target: StashEntry, old_path: int, new_path: int) -> None:
-        """Step 4: backup data — clone the block onto its old label."""
-        self._checkpoint("step4:before-backup")
-        backup = make_backup_entry(target, old_path)
-        # The block's current durable copy on the eviction path: either the
-        # slot the target was just fetched from, or (stash-hit write) the
-        # previous backup's slot.  The fresh backup's write must commit
-        # before that slot is overwritten (limited-WPQ ordering).
-        backup.fetch_round = self._round
-        if target.fetch_round == self._round and target.source_line is not None:
-            backup.source_line = target.source_line
-        else:
-            backup.source_line = self._stale_line_of.get(target.block.address)
-        self.stash.add(backup)
-        self._c_backups_created.add()
-        # Now bump the live copy past the backup's version and relabel it.
-        super()._after_fetch(target, old_path, new_path)
-        self._checkpoint("step4:after-backup")
-
-    def _evict(self, path_id: int) -> None:
-        """Step 5: persistent eviction through the dual WPQs (5-A/B/C).
-
-        With full-path-sized WPQs (the paper's 96-entry sizing) the whole
-        eviction is one atomic round.  With smaller WPQs the write-back is
-        split into ordered rounds per Section 4.2.3 — see
-        :mod:`repro.core.ordered_eviction`.
-        """
-        assignment, placed = self._plan_eviction(path_id)
-
-        # 5-A: encrypt eviction candidates and identify dirty PosMap entries.
-        self._checkpoint("step5:before-start")
-        writes = self._encode_assignment(path_id, assignment, placed)
-        dirty_entries = self._dirty_entries_for(placed)
-        self.now += self.engine.batch_latency_cycles(len(writes))
-
-        if len(writes) <= self.drainer.data_wpq.capacity:
-            rounds = [writes]
-        else:
-            rounds = plan_rounds(
-                writes, self.drainer.data_wpq.capacity, self._bounce_lines
-            )
-            self.stats.counter("ordered_eviction_rounds").add(len(rounds))
-            bounced = sum(len(r) for r in rounds) - len(writes)
-            if bounced:
-                self.stats.counter("bounce_writes").add(bounced)
-
-        # Associate each dirty entry with the round that writes its block,
-        # so data and metadata commit in the same atomic round — an entry
-        # committing *before* its block is exactly the Section-3.3 Case-1b
-        # hazard.  Live entries ride the live copy's round; graduated
-        # labels (stash-hit writes) ride the backup's round.  Entries with
-        # no matching write anywhere (Naive's per-dummy-slot padding)
-        # carry no consistency obligation and spread across rounds.
-        tagged = [(address, path, False) for address, path in dirty_entries]
-        if getattr(self, "_graduate", None) is not None:
-            address, path = self._graduate
-            tagged.append((address, path, True))
-            self._graduate = None
-        all_keys = {
-            (w.entry_key, w.is_backup_write)
-            for r in rounds for w in r if w.entry_key is not None
-        }
-        remaining = [e for e in tagged if (e[0], e[2]) in all_keys]
-        padding = [e for e in tagged if (e[0], e[2]) not in all_keys]
-        persisted: List[Tuple[int, int]] = []
-        for index, round_writes in enumerate(rounds):
-            last_round = index == len(rounds) - 1
-            keys = {
-                (w.entry_key, w.is_backup_write)
-                for w in round_writes if w.entry_key is not None
-            }
-            round_entries = [e for e in remaining if (e[0], e[2]) in keys]
-            remaining = [e for e in remaining if (e[0], e[2]) not in keys]
-            room = self.drainer.posmap_wpq.capacity - len(round_entries)
-            if last_round:
-                round_entries.extend(padding)
-                padding = []
-            else:
-                round_entries.extend(padding[:room])
-                padding = padding[room:]
-
-            # 5-B: "start" signal, push data + metadata into the WPQs.
-            self.drainer.start()
-            self._checkpoint("step5:round-open")
-            for write in round_writes:
-                self.drainer.push_block(write.line_address, write.wire)
-            for address, pending_path, _backup_bound in round_entries:
-                self.drainer.push_posmap_entry(
-                    self._entry_line(address), address, pending_path
-                )
-            self._checkpoint("step5:before-end")
-
-            # 5-C: "end" signal — the round is now atomic — then flush.
-            self.drainer.end()
-            self._checkpoint("step5:after-end")
-            mem_start = self.clock.core_to_mem(self.now)
-            self.drainer.flush(mem_start, posmap_kind=self._posmap_persist_kind())
-            persisted.extend(
-                (address, path) for address, path, _bound in round_entries
-            )
-
-        for address, path in persisted:
-            # Only retire a pending remap that this eviction actually made
-            # durable (Naive-PS-ORAM also pushes non-dirty entries; a
-            # graduated label differs from the fresh pending one and stays).
-            if self.temp_posmap.get(address) == path:
-                self.temp_posmap.pop(address)
-        self._c_posmap_persisted.add(len(persisted))
-        self._finish_eviction(placed)
-        self._checkpoint("step5:after-flush")
-
-    # ------------------------------------------------------------------
-    # eviction helpers
-    # ------------------------------------------------------------------
-
-    def _encode_assignment(
-        self,
-        path_id: int,
-        assignment: List[List[Block]],
-        placed: List[StashEntry],
-    ) -> List[SlotWrite]:
-        """Encrypt every slot of the eviction path (dummy-padded).
-
-        Each write carries the block's current durable line (for ordered
-        eviction) and its logical address (so the matching dirty PosMap
-        entry commits in the same atomic round).
-        """
-        entry_by_block = {id(entry.block): entry for entry in placed}
-        writes: List[SlotWrite] = []
-        z = self.tree.z
-        encode = self.codec.encode
-        round_ = self._round
-        dummy = Block.dummy_template(self.codec.block_bytes)
-        addresses = self.tree.path_addresses(path_id)
-        cursor = 0
-        for level_blocks in assignment:
-            for slot in range(z):
-                block = level_blocks[slot] if slot < len(level_blocks) else dummy
-                line_address = addresses[cursor]
-                cursor += 1
-                entry = entry_by_block.get(id(block))
-                old_line = None
-                entry_key = None
-                is_backup_write = False
-                if entry is not None and not block.is_dummy:
-                    entry_key = block.address
-                    is_backup_write = entry.is_backup
-                    if entry.fetch_round == round_:
-                        old_line = entry.source_line
-                writes.append(SlotWrite(line_address, encode(block),
-                                        old_line=old_line, entry_key=entry_key,
-                                        is_backup_write=is_backup_write))
-        return writes
-
-    def _dirty_entries_for(
-        self, placed: List[StashEntry]
-    ) -> List[Tuple[int, int]]:
-        """Temporary-PosMap entries whose blocks become durable this round.
-
-        An entry ``(a, l')`` may persist exactly when the live copy of ``a``
-        is in this round's write-back with label ``l'`` — afterwards the
-        persistent PosMap and the tree agree.  This is the dirty-only
-        persistence that separates PS-ORAM from Naive-PS-ORAM.
-        """
-        dirty: List[Tuple[int, int]] = []
-        for entry in placed:
-            if entry.is_backup:
-                continue
-            pending = self.temp_posmap.get(entry.block.address)
-            if pending is not None and pending == entry.block.path_id:
-                dirty.append((entry.block.address, pending))
-        return dirty
-
-    def _posmap_persist_kind(self) -> RequestKind:
-        """Traffic class for PosMap entry flushes (hook for variants)."""
-        return RequestKind.PERSIST
-
-    def _entry_line(self, address: int) -> int:
-        """NVM line a PosMap entry write targets.
-
-        Padding entries (sentinel address -1, Naive-PS-ORAM) rotate over
-        the PosMap region so their timed writes spread across banks the way
-        real entry writes would.
-        """
-        region = self.persistent_posmap.region
-        if address >= 0:
-            return region.entry_address(address)
-        self._pad_cursor = getattr(self, "_pad_cursor", 0) + 1
-        lines = max(1, region.size_bytes // self.oram_config.block_bytes)
-        return region.base + (self._pad_cursor % lines) * self.oram_config.block_bytes
-
-    def _commit_posmap_entry(self, address: int, path_id: int) -> int:
-        """Apply one drained entry: persistent image + on-chip mirror."""
-        line_address = self.persistent_posmap.write_entry(address, path_id)
-        self.posmap.set(address, path_id)
-        return line_address
-
-    def _relieve_temp_posmap(self) -> None:
-        """Free a temporary-PosMap slot via a background eviction.
-
-        The oldest pending entry's block is, by invariant, still live in the
-        stash; reading and evicting the block's *new* path writes it out
-        durably, which drains the entry.  The background access looks like
-        any other ORAM access on the bus (a uniformly random path), so no
-        information leaks.
-        """
-        oldest = self.temp_posmap.oldest()
-        if oldest is None:
-            return
-        address, pending_path = oldest
-        self.stats.counter("background_evictions").add()
-        mem_start = self.clock.core_to_mem(self.now)
-        blocks, mem_finish = self.tree.read_path(pending_path, mem_start)
-        self.now = self.clock.mem_to_core(mem_finish)
-        self.now += self.engine.batch_latency_cycles(len(blocks))
-        self._absorb_blocks(blocks, target_address=address)
-        self._evict(pending_path)
-        if address in self.temp_posmap:
-            # The block could not be placed even on its own path — only
-            # possible under extreme stash pressure.  Give up loudly rather
-            # than silently violating the durability contract.
-            raise RecoveryError(
-                f"background eviction failed to drain entry for block {address}"
-            )
-
-    # ------------------------------------------------------------------
-    # crash / recovery (Section 4.3)
-    # ------------------------------------------------------------------
-
-    def crash(self) -> None:
-        """Power loss: ADR completes committed WPQ rounds, SRAM vanishes."""
-        self.drainer.crash_flush()
-        self.temp_posmap.clear()
-        self.stash.clear()
-        self.posmap.clear()  # on-chip mirror; the persistent image survives
-        self.stats.counter("crashes").add()
-
-    def recover(self) -> bool:
-        """Rebuild the on-chip state from the persistent image.
-
-        The stash and temporary PosMap restart empty — every block they held
-        has a durable copy reachable through the persistent PosMap (the
-        backup-block invariant).  Only the PosMap mirror needs rebuilding.
-        """
-        self.posmap.clear()
-        for address, path_id in self.persistent_posmap.iter_written_entries():
-            self.posmap.set(address, path_id)
-        self._restore_version_counter()
-        self._restore_bounce_blocks()
-        self.stats.counter("recoveries").add()
-        return True
-
-    def _restore_bounce_blocks(self) -> None:
-        """Re-insert bounce-region copies orphaned by a mid-chain crash.
-
-        A bounce copy matters only when the crash cut an ordered-eviction
-        chain after the block's old slot was overwritten but before its new
-        slot committed: then the bounce line holds the only durable copy.
-        The copy is valid iff the PosMap still maps the block to the bounce
-        copy's label and no on-path copy has an equal-or-newer version; a
-        valid copy is placed into a free slot on its path.
-        """
-        for line in self._bounce_lines:
-            wire = self.memory.load_line(line)
-            if wire is None or len(wire) != self.codec.wire_bytes:
-                continue
-            block = self.codec.decode(wire)
-            if block.is_dummy:
-                continue
-            if self.posmap.get(block.address) != block.path_id:
-                continue  # stale bounce copy from an older eviction
-            newest_on_path = -1
-            for candidate in self.tree.read_path_headers(block.path_id):
-                if candidate.address == block.address and candidate.path_id == block.path_id:
-                    newest_on_path = max(newest_on_path, candidate.version)
-            if newest_on_path >= block.version:
-                continue  # the tree already holds this (or a newer) copy
-            self._place_block_functionally(block)
-            self.stats.counter("bounce_blocks_restored").add()
-            self.memory.store_line(line, b"")
-
-    def _place_block_functionally(self, block: Block) -> None:
-        """Put a recovered block into a free slot on its path (recovery only)."""
-        for level in range(self.tree.height, -1, -1):
-            b_idx = bucket_index(block.path_id, level, self.tree.height)
-            for slot in range(self.tree.z):
-                resident = self.tree.load_slot(b_idx, slot)
-                if resident.is_dummy:
-                    self.tree.store_slot(b_idx, slot, block)
-                    return
-        raise RecoveryError(
-            f"no free slot on path {block.path_id} to restore block "
-            f"{block.address} from the bounce region"
-        )
-
-    def _restore_version_counter(self) -> None:
-        """Resume the block-version counter past every pre-crash version.
-
-        Without this, post-recovery writes would carry low version numbers
-        and lose the max-version staleness comparison against pre-crash
-        ghost copies still sitting in the tree.
-        """
-        line = self.memory.load_line(self._version_line)
-        if line is not None:
-            self._version = max(self._version, int.from_bytes(line[:8], "little"))
-
-    def supports_crash_consistency(self) -> bool:
-        return True
-
-    # ------------------------------------------------------------------
-    # crash injection
-    # ------------------------------------------------------------------
-
-    def _checkpoint(self, label: str) -> None:
-        """Crash-injection hook; raises SimulatedCrash when armed."""
-        if self.crash_hook is not None:
-            self.crash_hook(label)
+    def __init__(self, config, *args, **kwargs):
+        kwargs.setdefault("policy", DirtyEntryPSPolicy())
+        super().__init__(config, *args, **kwargs)

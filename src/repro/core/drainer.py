@@ -113,7 +113,7 @@ class Drainer:
         one non-coalesced line write each (the paper's persistency model).
         """
         self._record_version()
-        access = self.memory.access
+        access = self.memory.issue
         finish = start_mem_cycle
         for line_address, wire in self.data_wpq.drain():
             request = access(

@@ -1,129 +1,30 @@
 """eADR-ORAM comparison (paper Section 4.2.4, Table 2).
 
-Builds the Table-2 drain inventories from a live :class:`SystemConfig`
-instead of the hard-coded paper sizes, so the comparison scales with the
-configuration under test.  The eADR-ORAM design keeps the entire cache
-hierarchy plus the ORAM controller's stash and PosMap in the persistence
-domain; PS-ORAM keeps only the two WPQs.
+The drain-inventory model and the :class:`repro.engine.eadr.EADRPolicy`
+body live in :mod:`repro.engine.eadr`; this module assembles the policy
+with the Path hierarchy under the historical class name and re-exports
+the Table-2 helpers.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
-from repro.config import SystemConfig
-from repro.energy.model import (
-    DrainCostModel,
-    DrainEstimate,
-    DrainInventory,
-    POSMAP_ENTRY_BYTES,
+from repro.engine.eadr import (  # noqa: F401
+    EADRPolicy,
+    compare_draining,
+    inventories_for_config,
 )
 from repro.oram.controller import PathORAMController
-
-
-def inventories_for_config(config: SystemConfig) -> Dict[str, DrainInventory]:
-    """Drain inventories of the three designs at this configuration's sizes."""
-    oram = config.oram
-    l1_bytes = config.l1d.size_bytes + config.l1i.size_bytes
-    l2_bytes = config.l2.size_bytes
-    stash_bytes = oram.stash_capacity * oram.block_bytes
-    # On-chip PosMap: one entry per logical block (the Phantom-style flat
-    # map the paper assumes for the non-recursive design).
-    posmap_bytes = oram.num_logical_blocks * POSMAP_ENTRY_BYTES
-    wpq_bytes = (
-        config.wpq.data_entries * oram.block_bytes
-        + config.wpq.posmap_entries * POSMAP_ENTRY_BYTES
-    )
-    return {
-        "eADR-cache": DrainInventory(
-            "eADR-cache", l2_bytes=l1_bytes + l2_bytes, stash_bytes=stash_bytes
-        ),
-        "eADR-ORAM": DrainInventory(
-            "eADR-ORAM",
-            l1_bytes=l1_bytes,
-            l2_bytes=l2_bytes,
-            stash_bytes=stash_bytes,
-            posmap_bytes=posmap_bytes,
-        ),
-        "PS-ORAM": DrainInventory("PS-ORAM", wpq_bytes=wpq_bytes),
-    }
-
-
-def compare_draining(config: SystemConfig) -> Dict[str, DrainEstimate]:
-    """Table-2 style comparison for an arbitrary configuration."""
-    model = DrainCostModel()
-    return {
-        name: model.estimate(inventory)
-        for name, inventory in inventories_for_config(config).items()
-    }
 
 
 class EADRORAMController(PathORAMController):
     """eADR-ORAM: the whole controller joins the persistence domain.
 
-    The alternative the paper prices in Section 4.2.4: with eADR, residual
-    energy flushes the *entire* stash and PosMap to NVM at crash time —
-    following the ORAM protocol, or the flush itself would leak the access
-    pattern.  Functionally this is crash consistent; the cost is the
-    drain-energy/time bill of Table 2 (five to six orders of magnitude over
-    PS-ORAM), which this controller accrues in ``crash_energy_pj`` /
-    ``crash_time_ns``.
-
-    The crash flush is modelled as: every dirty stash block is written back
-    to its assigned path's NVM copy, every modified PosMap entry persisted,
-    and the drain bill charged from the Table-2 model.
+    Accesses run the plain volatile pipeline; at crash time residual energy
+    flushes the entire stash and PosMap (see
+    :class:`repro.engine.eadr.EADRPolicy`), accruing the Table-2 drain bill
+    in ``crash_energy_pj`` / ``crash_time_ns``.
     """
 
-    def __init__(self, config: SystemConfig, **kwargs):
-        super().__init__(config, **kwargs)
-        self.crash_energy_pj = 0.0
-        self.crash_time_ns = 0.0
-        region = self.persistent_posmap.region
-        self._version_line = region.base + region.size_bytes
-
-    def crash(self) -> None:
-        """Residual-energy flush of the full controller state."""
-        estimate = compare_draining(self.config)["eADR-ORAM"]
-        self.crash_energy_pj += estimate.energy_pj
-        self.crash_time_ns += estimate.time_ns
-        # Persist every modified PosMap entry.
-        for address, path_id in list(self.posmap.modified_entries()):
-            self.persistent_posmap.write_entry(address, path_id)
-        # Flush the stash following the protocol: each block lands on a
-        # free slot of its assigned path (functional; the machine is off).
-        for entry in self.stash.entries():
-            if entry.is_backup:
-                continue
-            self._flush_block(entry.block)
-        self.stash.clear()
-        self.memory.store_line(self._version_line, self._version.to_bytes(8, "little"))
-        self.stats.counter("crashes").add()
-
-    def _flush_block(self, block) -> None:
-        from repro.util.bitops import bucket_index
-
-        for level in range(self.tree.height, -1, -1):
-            b_idx = bucket_index(block.path_id, level, self.tree.height)
-            for slot in range(self.tree.z):
-                if self.tree.load_slot(b_idx, slot).is_dummy:
-                    self.tree.store_slot(b_idx, slot, block)
-                    return
-        # No free slot on the whole path: extraordinarily unlikely; the
-        # hardware would stall the drain — we surface it loudly.
-        raise RuntimeError(
-            f"eADR crash flush found no free slot for block {block.address}"
-        )
-
-    def recover(self) -> bool:
-        """Rebuild the PosMap mirror from the flushed persistent image."""
-        self.posmap.clear()
-        for address, path_id in self.persistent_posmap.iter_written_entries():
-            self.posmap.set(address, path_id)
-        line = self.memory.load_line(self._version_line)
-        if line is not None:
-            self._version = max(self._version, int.from_bytes(line[:8], "little"))
-        self.stats.counter("recoveries").add()
-        return True
-
-    def supports_crash_consistency(self) -> bool:
-        return True
+    def __init__(self, config, *args, **kwargs):
+        kwargs.setdefault("policy", EADRPolicy())
+        super().__init__(config, *args, **kwargs)

@@ -1,28 +1,17 @@
 """FullNVM: on-chip stash and PosMap built from NVM cells (paper Section 5.1).
 
-A strawman persistence strategy: make the volatile controller structures
-themselves non-volatile by building them from PCM (FullNVM) or STT-RAM
-(FullNVM-STT) instead of SRAM.  Every stash fill, stash drain and PosMap
-update then pays NVM cell latency, which is what produces the ~90% / ~38%
-slowdowns of Figure 5(a) and the ~112% write-traffic blow-up of Figure 6(b)
-("the writes to the on-chip NVM is significant").
-
-Crucially, FullNVM is still **not crash consistent**: the stash and PosMap
-survive a crash individually, but an access interrupted between the PosMap
-update and the path write-back leaves them out of sync (the Section 3.2
-atomicity requirement is unmet).  ``supports_crash_consistency`` is
-therefore False even though the bits survive.
+The timing model and crash semantics live in
+:class:`repro.engine.fullnvm.FullNVMPolicy`; this module assembles it with
+the Path hierarchy under the historical class name.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import List, Optional, Tuple
+from typing import Optional
 
-from repro.config import NVMTimingConfig, PCM_TIMING, STTRAM_TIMING, SystemConfig
+from repro.config import NVMTimingConfig, STTRAM_TIMING, SystemConfig
+from repro.engine.fullnvm import FullNVMPolicy
 from repro.mem.controller import NVMMainMemory
-from repro.mem.request import Access, RequestKind
-from repro.oram.block import Block
 from repro.oram.controller import PathORAMController
 
 
@@ -42,91 +31,13 @@ class FullNVMController(PathORAMController):
         onchip_timing: Optional[NVMTimingConfig] = None,
         **kwargs,
     ):
+        kwargs.setdefault("policy", FullNVMPolicy(onchip_timing))
         super().__init__(config, memory=memory, key=key, **kwargs)
-        timing = onchip_timing or config.onchip_nvm or PCM_TIMING
-        # Size the on-chip macro to the stash + a PosMap working set.
-        capacity = max(
-            (self.oram_config.stash_capacity + 64) * self.oram_config.block_bytes,
-            1 << 16,
-        )
-        timing = dataclasses.replace(timing, capacity_bytes=capacity)
-        self.onchip = NVMMainMemory(
-            timing,
-            channels=1,
-            banks_per_channel=self.ONCHIP_BANKS,
-            line_bytes=self.oram_config.block_bytes,
-        )
-        self._stash_slot_cursor = 0
 
     @classmethod
     def stt(cls, config: SystemConfig, **kwargs) -> "FullNVMController":
         """FullNVM(STT): STT-RAM on-chip arrays, PCM main memory."""
         return cls(config, onchip_timing=STTRAM_TIMING, **kwargs)
-
-    # ------------------------------------------------------------------
-    # timed on-chip NVM traffic
-    # ------------------------------------------------------------------
-
-    def _onchip_access(self, count: int, access: Access) -> None:
-        """Issue ``count`` line accesses to the on-chip NVM and stall for them.
-
-        The controller cannot overlap stash bookkeeping with the next
-        protocol step — stash content determines what is evicted — so these
-        accesses serialize into the access latency.
-        """
-        if count <= 0:
-            return
-        mem_start = self.clock.core_to_mem(self.now)
-        finish = mem_start
-        for i in range(count):
-            slot = (self._stash_slot_cursor + i) % max(
-                1, self.oram_config.stash_capacity
-            )
-            request = self.onchip.access(
-                slot * self.oram_config.block_bytes,
-                access,
-                mem_start,
-                RequestKind.ONCHIP_NVM,
-            )
-            complete = request.complete_cycle
-            if complete is not None and complete > finish:
-                finish = complete
-        self._stash_slot_cursor += count
-        self.now = self.clock.mem_to_core(finish)
-
-    # -- protocol overrides ------------------------------------------------
-
-    def _remap(self, address: int) -> Tuple[int, int]:
-        # PosMap read + write are NVM cell accesses.
-        self._onchip_access(1, Access.READ)
-        old_path, new_path = super()._remap(address)
-        self._onchip_access(1, Access.WRITE)
-        return old_path, new_path
-
-    def _absorb_blocks(
-        self, blocks: List[Block], target_address: int, path_id: Optional[int] = None
-    ) -> None:
-        # Filling the stash writes each fetched block into NVM cells.
-        self._onchip_access(len(blocks), Access.WRITE)
-        super()._absorb_blocks(blocks, target_address, path_id=path_id)
-
-    def _evict(self, path_id: int) -> None:
-        # Draining the stash reads each eviction candidate from NVM cells.
-        assignment, _ = self._plan_eviction(path_id)
-        self._onchip_access(sum(len(level) for level in assignment), Access.READ)
-        super()._evict(path_id)
-
-    # -- crash semantics ---------------------------------------------------
-
-    def crash(self) -> None:
-        """The NVM stash/PosMap keep their bits; only consistency is lost."""
-        self.stats.counter("crashes").add()
-        # Nothing cleared: the structures are non-volatile.  The in-flight
-        # access may have left them inconsistent with the tree, which is
-        # exactly why this design does not provide crash consistency.
-
-    def supports_crash_consistency(self) -> bool:
-        return False
 
     # -- traffic accounting --------------------------------------------------
 

@@ -7,38 +7,19 @@ access.  Real blocks persist their actual mapping; dummy slots persist a
 padding entry (the hardware analogue writes the entry line regardless of
 content).  This is the straw-man whose overhead (roughly doubling the write
 traffic, ~74% slowdown) motivates dirty-entry tracking.
+
+The policy body lives in :class:`repro.engine.ps.NaiveFlushAllPolicy`.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
-from repro.core.controller import PSORAMController
-from repro.oram.stash import StashEntry
+from repro.engine.ps import NaiveFlushAllPolicy
+from repro.oram.controller import PathORAMController
 
 
-class NaivePSORAMController(PSORAMController):
+class NaivePSORAMController(PathORAMController):
     """PS-ORAM with all-entry (rather than dirty-entry) persistence."""
 
-    def _dirty_entries_for(
-        self, placed: List[StashEntry]
-    ) -> List[Tuple[int, int]]:
-        """Persist an entry for every slot on the path, not just dirty ones.
-
-        Live placed blocks persist their architecturally current mapping.
-        The remaining slots up to ``Z * (L + 1)`` — dummies and backup
-        copies — become padding entry writes (sentinel address -1): the
-        line write happens (that is the overhead being measured) but no
-        mapping changes, so a padding write can never regress a real entry.
-        """
-        entries: List[Tuple[int, int]] = []
-        for entry in placed:
-            if entry.is_backup:
-                continue
-            address = entry.block.address
-            pending = self.temp_posmap.get(address)
-            path = pending if pending is not None else self.posmap.get(address)
-            entries.append((address, path))
-        padding = self.tree.path_slots - len(entries)
-        entries.extend((-1, 0) for _ in range(max(0, padding)))
-        return entries
+    def __init__(self, config, *args, **kwargs):
+        kwargs.setdefault("policy", NaiveFlushAllPolicy())
+        super().__init__(config, *args, **kwargs)

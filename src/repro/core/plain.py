@@ -3,8 +3,9 @@
 The yardstick for the paper's Section 5.1 remark that Path ORAM costs
 2x-24x (about 11x on average, single channel) over an unprotected NVM
 system: every LLC miss is a single line access, no obfuscation, no
-metadata.  Implements the same ``access``/``read``/``write`` interface as
-the ORAM controllers so the simulator and benches can swap it in.
+metadata.  Drives the same engine pipeline as the ORAM controllers —
+the "lookup" phase resolves every access directly against the flat NVM
+address space, so the later phases never run.
 """
 
 from __future__ import annotations
@@ -12,16 +13,20 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config import SystemConfig
-from repro.errors import InvalidAddressError
+from repro.engine.base import AccessEngine, AccessResult
+from repro.engine.policy import VolatilePolicy
 from repro.mem.controller import NVMMainMemory
 from repro.mem.request import Access, RequestKind
-from repro.oram.controller import AccessResult
 from repro.util.clock import ClockDomain
 from repro.util.stats import StatSet
 
 
-class PlainNVMController:
+class PlainNVMController(AccessEngine):
     """Direct-mapped, unprotected NVM access (no ORAM)."""
+
+    #: No stash CAM or PosMap to consult.
+    ONCHIP_LOOKUP_CYCLES = 0
+    SUPPORTS_MUTATOR = False
 
     def __init__(
         self,
@@ -40,40 +45,39 @@ class PlainNVMController:
         )
         self.clock = ClockDomain(config.core.freq_hz, config.nvm.freq_hz)
         self.now = 0
+        self._version = 0
+        self._round = 0
         self.stats = StatSet("plain")
+        self.policy = VolatilePolicy()
+        self.policy.attach(self)
 
-    def read(self, address: int, start_cycle: Optional[int] = None) -> AccessResult:
-        return self.access(address, is_write=False, start_cycle=start_cycle)
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
 
-    def write(
-        self, address: int, data: bytes, start_cycle: Optional[int] = None
-    ) -> AccessResult:
-        return self.access(address, is_write=True, data=data, start_cycle=start_cycle)
+    def _validate_request(self, address, is_write, data, mutator):
+        # Writes treat a missing payload as zeros (plain-memory semantics);
+        # reads silently ignore any payload, as the original interface did.
+        super()._validate_request(address, False, None, mutator)
+        if not is_write:
+            return None
+        payload = bytes(data or b"")
+        return payload + bytes(self.oram_config.block_bytes - len(payload))
 
-    def access(
-        self,
-        address: int,
-        is_write: bool,
-        data: Optional[bytes] = None,
-        start_cycle: Optional[int] = None,
-    ) -> AccessResult:
-        """One line access: reads stall the core, writes are posted."""
-        if not 0 <= address < self.oram_config.num_logical_blocks:
-            raise InvalidAddressError(f"address {address} out of range")
-        start = self.now if start_cycle is None else max(self.now, start_cycle)
-        self.now = start
+    def _count_access(self, is_write: bool) -> None:
         self.stats.counter("accesses").add()
+
+    def _lookup_phase(self, address, is_write, payload, mutator, start):
+        """One line access: reads stall the core, writes are posted."""
         line_address = address * self.oram_config.block_bytes
         mem_start = self.clock.core_to_mem(self.now)
         if is_write:
-            payload = bytes(data or b"")
-            payload = payload + bytes(self.oram_config.block_bytes - len(payload))
-            self.memory.access(
+            self.memory.issue(
                 line_address, Access.WRITE, mem_start, RequestKind.PLAIN, data=payload
             )
             result = payload
         else:
-            request = self.memory.access(
+            request = self.memory.issue(
                 line_address, Access.READ, mem_start, RequestKind.PLAIN
             )
             complete = request.complete_cycle
@@ -93,6 +97,10 @@ class PlainNVMController:
             finish_cycle=self.now,
         )
 
+    # ------------------------------------------------------------------
+    # crash semantics (no volatile structures worth modelling)
+    # ------------------------------------------------------------------
+
     def crash(self) -> None:
         """NVM content survives; nothing volatile worth modelling."""
 
@@ -102,7 +110,3 @@ class PlainNVMController:
     def supports_crash_consistency(self) -> bool:
         """Single-line writes are individually atomic at line granularity."""
         return True
-
-    @property
-    def traffic(self):
-        return self.memory.traffic

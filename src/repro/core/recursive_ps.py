@@ -21,6 +21,9 @@ ORAM path write" for deferred metadata: it costs one NVM line write per
 access (write-only overhead, zero extra reads), where the paper reports
 +15.5% writes for its variant of the bookkeeping.  EXPERIMENTS.md records
 measured-vs-paper for this row.
+
+The remap/recovery protocol bodies live in
+:class:`repro.engine.ps.RecursiveDirtyEntryPSPolicy`.
 """
 
 from __future__ import annotations
@@ -29,12 +32,10 @@ from typing import List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.core.controller import PSORAMController
+from repro.engine.ps import RecursiveDirtyEntryPSPolicy
 from repro.mem.controller import NVMMainMemory
 from repro.mem.request import Access, RequestKind
-from repro.oram.block import Block
 from repro.oram.recursive import RecursivePathORAM
-from repro.oram.stash import StashEntry
-from repro.util.bitops import path_bucket_indices
 
 
 class IntentLog:
@@ -73,7 +74,7 @@ class IntentLog:
         )
         line = self.base + self._cursor * self.line_bytes
         self._cursor = (self._cursor + 1) % self.slots
-        request = self.memory.access(
+        request = self.memory.issue(
             line, Access.WRITE, now_mem, RequestKind.PERSIST, data=record
         )
         complete = request.complete_cycle
@@ -104,7 +105,7 @@ class IntentLog:
             self._cursor = 0  # safe anywhere: slots are self-describing
 
 
-class RcrPSORAMController(RecursivePathORAM, PSORAMController):
+class RcrPSORAMController(RecursivePathORAM):
     """Recursive PS-ORAM (the paper's Rcr-PS-ORAM)."""
 
     def __init__(
@@ -112,11 +113,13 @@ class RcrPSORAMController(RecursivePathORAM, PSORAMController):
         config: SystemConfig,
         memory: Optional[NVMMainMemory] = None,
         key: bytes = b"repro-psoram-key",
+        **kwargs,
     ):
         # RecursivePathORAM.__init__ builds the layout and the posmap tree;
-        # PSORAMController.__init__ runs through the MRO and adds the
-        # temp-PosMap/drainer machinery for the data tree.
-        super().__init__(config, memory=memory, key=key)
+        # the attached policy adds the temp-PosMap/drainer machinery for
+        # the data tree.
+        kwargs.setdefault("policy", RecursiveDirtyEntryPSPolicy())
+        super().__init__(config, memory=memory, key=key, **kwargs)
         inner = self.posmap_oram.controller
         # Skip the inner controller's version line + bounce region.
         scratch = (1 + PSORAMController.BOUNCE_LINES) * self.oram_config.block_bytes
@@ -151,141 +154,3 @@ class RcrPSORAMController(RecursivePathORAM, PSORAMController):
             request_kind=RequestKind.POSMAP,
             name="posmap-oram",
         )
-
-    # ------------------------------------------------------------------
-    # step 2: intent, then recursive lookup+update
-    # ------------------------------------------------------------------
-
-    def _remap(self, address: int) -> Tuple[int, int]:
-        self._checkpoint("step2:before-remap")
-        old_path = self.posmap.get(address)
-        new_path = self.rng.randrange(self.posmap.num_leaves)
-        # 1. Persist the intent (one line write) *before* the posmap tree
-        #    learns the new path — recovery can then always reconcile.
-        finish_mem = self.intent_log.append(
-            address, old_path, new_path, self.clock.core_to_mem(self.now)
-        )
-        self.now = self.clock.mem_to_core(finish_mem)
-        self._checkpoint("step2:after-intent")
-        # 2. Timed posmap-tree read-modify-write, like Rcr-Baseline.
-        self.posmap.set(address, new_path)
-        self.posmap_oram.now = self.now
-        self.posmap_oram.lookup_update(address, new_path)
-        self.now = self.posmap_oram.now
-        self.stats.counter("temp_posmap_inserts").add()
-        self._checkpoint("step2:after-remap")
-        return old_path, new_path
-
-    def _dirty_entries_for(
-        self, placed: List[StashEntry]
-    ) -> List[Tuple[int, int]]:
-        """No flat-region entry flushes: the posmap tree is the PosMap home."""
-        return []
-
-    def _posmap_persist_kind(self) -> RequestKind:
-        return RequestKind.POSMAP
-
-    # ------------------------------------------------------------------
-    # crash / recovery (Section 4.3, recursive flavour)
-    # ------------------------------------------------------------------
-
-    def crash(self) -> None:
-        PSORAMController.crash(self)
-        self.posmap_oram.controller.crash()
-
-    def recover(self) -> bool:
-        """Recover posmap tree, data mirror, then reconcile intents."""
-        if not self.posmap_oram.controller.recover():
-            return False
-        self._rebuild_posmap_mirror()
-        self._restore_version_counter()
-        self.intent_log.restore_sequence()
-        self._reconcile_intents()
-        self.stats.counter("recoveries").add()
-        return True
-
-    def _rebuild_posmap_mirror(self) -> None:
-        """Walk the posmap tree functionally and rebuild the on-chip mirror.
-
-        For each posmap block, the copies on its (recovered) path are
-        decoded and the highest-version valid one supplies the entries.
-        """
-        self.posmap.clear()
-        inner = self.posmap_oram.controller
-        pm_tree = inner.tree
-        entries_per_block = self.posmap_oram.entries_per_block
-        seen_versions = {}
-        best_blocks = {}
-        for bucket_idx in range(pm_tree.region.num_buckets):
-            for slot in range(pm_tree.z):
-                wire = self.memory.load_line(pm_tree.region.slot_address(bucket_idx, slot))
-                if wire is None:
-                    continue
-                block = pm_tree.codec.decode(wire)
-                if block.is_dummy:
-                    continue
-                expected = inner.posmap.get(block.address)
-                if block.path_id != expected:
-                    continue  # stale copy off the architectural path
-                if block.version > seen_versions.get(block.address, -1):
-                    seen_versions[block.address] = block.version
-                    best_blocks[block.address] = block
-        for pb_index, block in best_blocks.items():
-            for slot in range(entries_per_block):
-                address = pb_index * entries_per_block + slot
-                if address >= self.posmap.num_entries:
-                    break
-                path = self.posmap_oram._decode(block.data, slot, address)
-                if path != self.posmap.initial_path(address):
-                    self.posmap.set(address, path)
-
-    def _reconcile_intents(self) -> None:
-        """Resolve every logged intent against the tree's actual content.
-
-        For each intent (newest record wins per address), the candidate
-        paths {current entry, old, new} are scanned for copies of the block;
-        the highest-version copy whose header matches the path it sits on is
-        authoritative, and the mirror entry is pointed at it.
-        """
-        latest = {}
-        for seq, address, old_path, new_path in self.intent_log.records():
-            latest[address] = (seq, old_path, new_path)
-        for address, (_, old_path, new_path) in sorted(latest.items()):
-            if address >= self.posmap.num_entries:
-                continue
-            current = self.posmap.get(address)
-            candidates = {current, old_path, new_path}
-            best_block = None
-            for path in candidates:
-                block = self._find_copy_on_path(address, path)
-                if block is not None and (
-                    best_block is None or block.version > best_block.version
-                ):
-                    best_block = block
-            if best_block is not None and best_block.path_id != current:
-                self.posmap.set(address, best_block.path_id)
-                self.stats.counter("intents_repaired").add()
-
-    def _find_copy_on_path(self, address: int, path_id: int) -> Optional[Block]:
-        """Highest-version copy of ``address`` on ``path_id`` whose header
-        claims that very path (functional scan, recovery-time only)."""
-        best: Optional[Block] = None
-        for bucket_idx in path_bucket_indices(path_id, self.tree.height):
-            for slot in range(self.tree.z):
-                wire = self.memory.load_line(
-                    self.tree.region.slot_address(bucket_idx, slot)
-                )
-                if wire is None:
-                    continue
-                block = self.tree.codec.decode_header(wire)
-                if block.is_dummy or block.address != address:
-                    continue
-                if block.path_id != path_id:
-                    continue
-                if best is None or block.version > best.version:
-                    full = self.tree.codec.decode(wire)
-                    best = full
-        return best
-
-    def supports_crash_consistency(self) -> bool:
-        return True

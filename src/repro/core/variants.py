@@ -1,4 +1,11 @@
-"""Factory for every evaluated system variant (paper Section 5.1).
+"""Every evaluated system variant as a hierarchy × policy × posmap row.
+
+No variant is *defined* here — each is an assembly of one access
+hierarchy (``path`` / ``ring`` / ``hybrid`` / ``plain``), one persistence
+policy (:mod:`repro.engine.policy`, :mod:`repro.engine.ps`, ...) and one
+PosMap mode (``flat`` on-chip mirror vs ``recursive`` posmap tree),
+registered as a :class:`repro.engine.registry.VariantSpec` (paper
+Section 5.1):
 
 =================  ============================================================
 name               system
@@ -12,7 +19,13 @@ name               system
 ``rcr-baseline``   recursive ORAM, PosMap tree written every access, volatile
                    stash (persistent but not crash-consistent)
 ``rcr-ps``         recursive PS-ORAM (crash-consistent)
+``eadr-oram``      extended-ADR: crash flush drains the stash (Table 2)
+``ps-hybrid``      PS-ORAM with a write-through DRAM tree-top
+``ring-baseline``  Ring ORAM on NVM, no crash consistency
+``ring-ps``        crash-consistent Ring ORAM (in-place slot backup)
 =================  ============================================================
+
+``python -m repro --list-variants`` prints this matrix.
 """
 
 from __future__ import annotations
@@ -26,21 +39,11 @@ from repro.core.fullnvm import FullNVMController
 from repro.core.naive import NaivePSORAMController
 from repro.core.plain import PlainNVMController
 from repro.core.recursive_ps import RcrPSORAMController
+from repro.engine import registry
+from repro.engine.registry import VariantSpec, variant_specs  # noqa: F401
 from repro.mem.controller import NVMMainMemory
 from repro.oram.controller import PathORAMController
 from repro.oram.recursive import RecursivePathORAM
-
-VARIANTS: Dict[str, Callable] = {
-    "plain": PlainNVMController,
-    "baseline": PathORAMController,
-    "fullnvm": FullNVMController,
-    "fullnvm-stt": FullNVMController.stt,
-    "naive-ps": NaivePSORAMController,
-    "ps": PSORAMController,
-    "rcr-baseline": RecursivePathORAM,
-    "rcr-ps": RcrPSORAMController,
-    "eadr-oram": EADRORAMController,
-}
 
 
 def _hybrid_factory(config, memory=None, key=b"repro-psoram-key"):
@@ -61,9 +64,76 @@ def _ring_ps_factory(config, memory=None, key=b"repro-psoram-key"):
     return PSRingController(config, memory=memory, key=key)
 
 
-VARIANTS["ps-hybrid"] = _hybrid_factory
-VARIANTS["ring-baseline"] = _ring_factory
-VARIANTS["ring-ps"] = _ring_ps_factory
+_SPECS = (
+    VariantSpec(
+        "plain", "plain", "volatile", "none",
+        "non-ORAM NVM system — the paper's 11x yardstick",
+        PlainNVMController,
+    ),
+    VariantSpec(
+        "baseline", "path", "volatile", "flat",
+        "Path ORAM on NVM, volatile stash/PosMap (no crash consistency)",
+        PathORAMController,
+    ),
+    VariantSpec(
+        "fullnvm", "path", "full-nvm", "flat",
+        "on-chip stash/PosMap built from PCM cells",
+        FullNVMController,
+    ),
+    VariantSpec(
+        "fullnvm-stt", "path", "full-nvm-stt", "flat",
+        "on-chip stash/PosMap built from STT-RAM cells",
+        FullNVMController.stt,
+    ),
+    VariantSpec(
+        "naive-ps", "path", "naive-flush-all", "flat",
+        "PS-ORAM persisting all Z*(L+1) PosMap entries per access",
+        NaivePSORAMController,
+    ),
+    VariantSpec(
+        "ps", "path", "dirty-entry-ps", "flat",
+        "PS-ORAM with dirty-entry persistence — the paper's design",
+        PSORAMController,
+    ),
+    VariantSpec(
+        "rcr-baseline", "path", "volatile", "recursive",
+        "recursive PosMap tree written every access; volatile stash",
+        RecursivePathORAM,
+    ),
+    VariantSpec(
+        "rcr-ps", "path", "dirty-entry-ps", "recursive",
+        "recursive PS-ORAM with a persistent intent log (crash-consistent)",
+        RcrPSORAMController,
+    ),
+    VariantSpec(
+        "eadr-oram", "path", "eadr", "flat",
+        "extended-ADR ORAM: the crash flush drains the stash into the tree",
+        EADRORAMController,
+    ),
+    VariantSpec(
+        "ps-hybrid", "hybrid", "dirty-entry-ps", "flat",
+        "PS-ORAM with a write-through DRAM tree-top cache",
+        _hybrid_factory,
+    ),
+    VariantSpec(
+        "ring-baseline", "ring", "volatile", "flat",
+        "Ring ORAM on NVM, volatile stash/PosMap (no crash consistency)",
+        _ring_factory,
+    ),
+    VariantSpec(
+        "ring-ps", "ring", "dirty-entry-ps", "flat",
+        "crash-consistent Ring ORAM (in-place slot backup, atomic rounds)",
+        _ring_ps_factory,
+    ),
+)
+
+for _spec in _SPECS:
+    registry.register(_spec)
+
+#: Backward-compatible name → factory view of the registry.
+VARIANTS: Dict[str, Callable] = {
+    spec.name: spec.factory for spec in _SPECS
+}
 
 #: Variants evaluated in Figure 5(a) (non-recursive systems).
 NON_RECURSIVE_VARIANTS = ("baseline", "fullnvm", "fullnvm-stt", "naive-ps", "ps")
@@ -83,10 +153,4 @@ def build_variant(
     Raises ``KeyError`` with the list of known names on a typo — catching a
     misspelt variant early beats a confusing downstream failure.
     """
-    try:
-        factory = VARIANTS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown variant {name!r}; known: {', '.join(sorted(VARIANTS))}"
-        ) from None
-    return factory(config, memory=memory, key=key)
+    return registry.build_variant(name, config, memory=memory, key=key)

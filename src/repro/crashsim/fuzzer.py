@@ -18,23 +18,14 @@ import argparse
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.config import WPQConfig, small_config
 from repro.core.variants import build_variant
 from repro.crashsim.checker import ConsistencyChecker
-from repro.crashsim.injector import CRASH_POINTS, CrashInjector
+from repro.crashsim.injector import CrashInjector
 from repro.errors import SimulatedCrash
 from repro.util.rng import DeterministicRNG
-
-#: Checkpoints per variant family (Ring uses its own labels).
-POINTS_BY_VARIANT: Dict[str, Sequence[str]] = {
-    "ring-ps": (
-        "ring:after-remap", "ring:wb-round-open", "ring:wb-before-end",
-        "ring:wb-after-end", "ring:evict-round-open",
-        "ring:evict-before-end", "ring:evict-after-end",
-    ),
-}
 
 
 @dataclass
@@ -75,7 +66,9 @@ def run_campaign(
     checker = ConsistencyChecker(controller)
     injector = CrashInjector(controller, DeterministicRNG(seed ^ 0xF00D))
     rng = DeterministicRNG(seed)
-    points = list(POINTS_BY_VARIANT.get(variant, CRASH_POINTS))
+    # Every label the controller can fire: the engine's phase boundaries
+    # plus the attached policy's protocol-internal checkpoints.
+    points = list(controller.crash_points())
     span = max(8, config.oram.num_logical_blocks // 8)
 
     result = CampaignResult(variant=variant, rounds=rounds, crashes_fired=0,

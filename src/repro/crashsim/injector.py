@@ -72,8 +72,15 @@ class CrashInjector:
         self.controller.crash_hook = self._hook
 
     def arm_random(self, points: Optional[List[str]] = None) -> str:
-        """Crash at a uniformly chosen checkpoint; returns the choice."""
-        point = self.rng.choice(list(points or CRASH_POINTS))
+        """Crash at a uniformly chosen checkpoint; returns the choice.
+
+        Defaults to everything the controller can fire — the engine's
+        pipeline phase boundaries plus the policy's protocol checkpoints.
+        """
+        if points is None:
+            getter = getattr(self.controller, "crash_points", None)
+            points = list(getter()) if getter is not None else list(CRASH_POINTS)
+        point = self.rng.choice(list(points))
         self.arm(point)
         return point
 

@@ -1,0 +1,434 @@
+"""The phase-structured ORAM access pipeline shared by every hierarchy.
+
+Every evaluated system — Path, Ring, recursive, hybrid — drives its
+accesses through the single :meth:`AccessEngine.access` implementation
+below.  The pipeline is a fixed sequence of named phases::
+
+    position lookup -> remap -> fetch -> absorb -> program op
+                    -> eviction plan -> write-back -> persist commit
+
+Hierarchies (Path vs Ring) supply the *mechanics* of each phase
+(`_fetch_blocks`, `_absorb_fetched`, `_writeback_phase`, ...); the
+attached :class:`~repro.engine.policy.PersistencePolicy` supplies the
+*persistence semantics* (what is durable when, what happens on crash).
+The paper's protocol (temporary PosMap -> backup block -> dual-WPQ
+drainer rounds) is one such policy, layered on an otherwise ordinary
+access loop — exactly the framing of Section 4.2.
+
+Phase boundaries are announced through :meth:`AccessEngine._checkpoint`
+with the labels in :data:`PIPELINE_PHASES`, so the crash simulator can
+cut power at any boundary on any variant without grepping controller
+internals.  Policies add their own finer-grained labels (the historical
+``step2:*``/``step5:*``/``ring:*`` points) via
+:meth:`~repro.engine.policy.PersistencePolicy.crash_points`.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.errors import InvalidAddressError
+
+if TYPE_CHECKING:  # repro.oram imports engine.base; keep the cycle lazy
+    from repro.oram.block import Block
+    from repro.oram.stash import StashEntry
+
+#: The named pipeline phase boundaries, in access order.  A crash armed
+#: at ``phase:X`` fires just *before* phase X runs (the checkpoint is
+#: announced on entry), except ``phase:persist-commit`` which fires
+#: after the write-back completed — i.e. after the policy considers the
+#: access durable.
+PIPELINE_PHASES = (
+    "phase:position-lookup",
+    "phase:remap",
+    "phase:fetch",
+    "phase:absorb",
+    "phase:program-op",
+    "phase:evict-plan",
+    "phase:write-back",
+    "phase:persist-commit",
+)
+
+#: Sort key for eviction-planner candidates: (resident, depth), ignoring
+#: the entry itself so ties keep stash order (stable sort).
+_PLAN_SORT_KEY = operator.itemgetter(0, 1)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one ORAM access.
+
+    ``data`` is the block content *before* the access took effect: for a
+    read that is the value read; for a write (or read-modify-write) it is
+    the previous content, giving callers swap semantics for free.
+    """
+
+    address: int
+    is_write: bool
+    data: bytes
+    stash_hit: bool
+    old_path: int
+    new_path: int
+    start_cycle: int
+    finish_cycle: int
+
+    @property
+    def latency_core_cycles(self) -> int:
+        return self.finish_cycle - self.start_cycle
+
+
+class AccessEngine:
+    """Shared base of every controller: one access loop, many variants.
+
+    Subclasses (the hierarchies) implement the mechanics hooks; the
+    attached ``self.policy`` decides persistence behaviour.  The
+    class carries **no** ``__init__`` — each hierarchy builds its own
+    state and finishes with ``self.policy.attach(self)``.
+    """
+
+    #: Fixed on-chip pipeline cost per access (stash CAM + PosMap SRAM +
+    #: address logic), in core cycles.  SRAM structures are fast; the
+    #: FullNVM variants replace this with timed NVM accesses.
+    ONCHIP_LOOKUP_CYCLES = 4
+
+    #: Whether :meth:`read_modify_write` is available (Ring and plain
+    #: NVM do not implement the on-chip mutate path).
+    SUPPORTS_MUTATOR = True
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def read(self, address: int, start_cycle: Optional[int] = None) -> AccessResult:
+        """Obliviously read one block."""
+        return self.access(address, is_write=False, data=None, start_cycle=start_cycle)
+
+    def write(self, address: int, data: bytes, start_cycle: Optional[int] = None) -> AccessResult:
+        """Obliviously write one block."""
+        return self.access(address, is_write=True, data=data, start_cycle=start_cycle)
+
+    def read_modify_write(
+        self, address: int, mutator, start_cycle: Optional[int] = None
+    ) -> AccessResult:
+        """One ORAM access that atomically transforms the block payload.
+
+        ``mutator(old_payload) -> new_payload`` runs on-chip after the fetch.
+        The result carries the *old* payload.  Used by the recursive PosMap
+        layer to update one packed entry in a single access.
+        """
+        return self.access(address, is_write=True, mutator=mutator, start_cycle=start_cycle)
+
+    def access(
+        self,
+        address: int,
+        is_write: bool,
+        data: Optional[bytes] = None,
+        start_cycle: Optional[int] = None,
+        mutator=None,
+    ) -> AccessResult:
+        """Perform one full access through the phase pipeline."""
+        payload = self._validate_request(address, is_write, data, mutator)
+        start = self.now if start_cycle is None else max(self.now, start_cycle)
+        self.now = start + self.ONCHIP_LOOKUP_CYCLES
+        self._count_access(is_write)
+        self._round += 1
+
+        self._checkpoint("phase:position-lookup")
+        hit = self._lookup_phase(address, is_write, payload, mutator, start)
+        if hit is not None:
+            return hit
+
+        self._checkpoint("phase:remap")
+        old_path, new_path = self._remap(address)
+
+        self._checkpoint("phase:fetch")
+        fetched = self._fetch_blocks(address, old_path)
+
+        self._checkpoint("phase:absorb")
+        target = self._absorb_fetched(fetched, address, old_path, new_path)
+
+        self._checkpoint("phase:program-op")
+        result_data = self._apply_program_op(target, is_write, payload, mutator)
+        self._after_fetch(target, old_path, new_path)
+
+        self._checkpoint("phase:evict-plan")
+        self._writeback_phase(target, old_path)
+        self._checkpoint("phase:persist-commit")
+
+        return AccessResult(
+            address=address,
+            is_write=is_write,
+            data=result_data,
+            stash_hit=False,
+            old_path=old_path,
+            new_path=new_path,
+            start_cycle=start,
+            finish_cycle=self.now,
+        )
+
+    # ------------------------------------------------------------------
+    # phase: validate + position lookup
+    # ------------------------------------------------------------------
+
+    def _validate_request(self, address, is_write, data, mutator) -> Optional[bytes]:
+        """Address + payload validation; returns the padded payload."""
+        self._check_address(address)
+        if mutator is not None:
+            if not self.SUPPORTS_MUTATOR:
+                raise ValueError(
+                    f"{type(self).__name__} does not support read-modify-write"
+                )
+            if data is not None:
+                raise ValueError("pass either data or mutator, not both")
+            return None
+        return self._normalize_payload(is_write, data)
+
+    def _lookup_phase(self, address, is_write, payload, mutator, start) -> Optional[AccessResult]:
+        """Stash lookup; a permitted hit short-circuits the pipeline.
+
+        The baseline policy always short-circuits (paper step 1); the
+        PS policies force a full access for writes so an acknowledged
+        write is always durable by the time the access returns.
+        """
+        entry = self.stash.find(address)
+        if entry is None:
+            return None
+        if not self.policy.allow_stash_hit(is_write or mutator is not None):
+            return None
+        result_data = self._apply_program_op(entry, is_write, payload, mutator)
+        self._count_stash_hit()
+        return AccessResult(
+            address=address,
+            is_write=is_write,
+            data=result_data,
+            stash_hit=True,
+            old_path=entry.block.path_id,
+            new_path=entry.block.path_id,
+            start_cycle=start,
+            finish_cycle=self.now,
+        )
+
+    def _count_access(self, is_write: bool) -> None:
+        """Hierarchy hook: bump the per-access counters."""
+        raise NotImplementedError
+
+    def _count_stash_hit(self) -> None:
+        """Hierarchy hook: bump the stash-hit counter."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # phase: remap
+    # ------------------------------------------------------------------
+
+    def _remap(self, address: int) -> Tuple[int, int]:
+        """Look up the current path and assign a fresh one (policy hook)."""
+        return self.policy.remap(address)
+
+    def _remap_mechanics(self, address: int) -> Tuple[int, int]:
+        """The hierarchy's raw remap: draw a fresh leaf, record it.
+
+        Baseline behaviour overwrites the volatile PosMap in place —
+        exactly the behaviour Section 3.3 shows to be unrecoverable;
+        persistence policies replace :meth:`_remap` wholesale instead.
+        """
+        old_path = self._position_of(address)
+        new_path = self.rng.randrange(self.posmap.num_leaves)
+        self._remap_update(address, new_path, old_path)
+        return old_path, new_path
+
+    def _remap_update(self, address: int, new_path: int, old_path: int) -> None:
+        """Record the freshly drawn path id (recursive posmaps override)."""
+        self.posmap.set(address, new_path)
+
+    def _position_of(self, address: int) -> int:
+        """Current path id for an address (pending remaps take priority)."""
+        pending = self.policy.pending_position(address)
+        if pending is not None:
+            return pending
+        return self.posmap.get(address)
+
+    # ------------------------------------------------------------------
+    # phase: fetch + absorb (hierarchy hooks)
+    # ------------------------------------------------------------------
+
+    def _fetch_blocks(self, address: int, path_id: int):
+        """Timed fetch of the target's path/buckets; returns raw blocks."""
+        raise NotImplementedError
+
+    def _absorb_fetched(self, fetched, address, old_path, new_path) -> StashEntry:
+        """Move fetched live blocks into the stash; return the target entry."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # phase: program op + header update
+    # ------------------------------------------------------------------
+
+    def _apply_program_op(
+        self,
+        entry: StashEntry,
+        is_write: bool,
+        payload: Optional[bytes],
+        mutator=None,
+    ) -> bytes:
+        """Apply the program's read or write to the stash entry.
+
+        Returns the data handed back to the program: the (pre-mutation)
+        block content.
+        """
+        old_data = entry.block.data
+        if mutator is not None:
+            payload = self._normalize_payload(True, mutator(old_data))
+            is_write = True
+        if is_write:
+            assert payload is not None
+            entry.block = type(entry.block)(
+                address=entry.block.address,
+                path_id=entry.block.path_id,
+                data=payload,
+                version=self._next_version(),
+            )
+            entry.dirty = True
+        return old_data
+
+    def _after_fetch(self, target: StashEntry, old_path: int, new_path: int) -> None:
+        """Update the target's header path id, bracketed by policy hooks.
+
+        The dirty-entry PS policy creates the backup (shadow) block in
+        :meth:`~repro.engine.policy.PersistencePolicy.pre_relabel`.
+        """
+        self.policy.pre_relabel(target, old_path, new_path)
+        target.block = type(target.block)(
+            address=target.block.address,
+            path_id=new_path,
+            data=target.block.data,
+            version=self._next_version(),
+        )
+        self.policy.post_relabel(target, old_path, new_path)
+
+    # ------------------------------------------------------------------
+    # phase: eviction plan + write-back
+    # ------------------------------------------------------------------
+
+    def _writeback_phase(self, target: StashEntry, old_path: int) -> None:
+        """Write the access's effects back (Ring overrides the shape)."""
+        self._checkpoint("phase:write-back")
+        self._evict(old_path)
+
+    def _evict(self, path_id: int) -> None:
+        """Evict onto ``path_id`` (policy decides durability semantics)."""
+        self.policy.evict(path_id)
+
+    def _plan_eviction(
+        self, path_id: int
+    ) -> Tuple[List[List[Block]], List[StashEntry]]:
+        """Greedy deepest-first assignment of stash entries onto a path.
+
+        Returns ``(assignment, placed_entries)``; ``assignment[level]`` holds
+        the blocks written into the bucket at that level (dummy padding is
+        applied by the bucket writer).
+        """
+        height = self._plan_height
+        z = self._plan_z
+        assignment: List[List[Block]] = [[] for _ in range(height + 1)]
+        placed: List[StashEntry] = []
+        # Blocks fetched from the current path (and backup blocks, whose
+        # label *is* the current path) are placed first: their only durable
+        # copy is being overwritten by this very write-back, so they must
+        # not lose a slot race against long-resident stash blocks (the
+        # Figure-3 hazard).  Within each class, deepest-first.
+        #
+        # The deepest legal level (lowest_common_level, inlined to its
+        # XOR/bit-length form) is computed once per entry and reused for
+        # both the sort key and the placement scan.
+        round_ = self._round
+        decorated = []
+        for entry in self.stash.entries():
+            diff = path_id ^ entry.block.path_id
+            depth = height if diff == 0 else height - diff.bit_length()
+            resident = entry.is_backup or entry.fetch_round == round_
+            decorated.append((resident, depth, entry))
+        decorated.sort(key=_PLAN_SORT_KEY, reverse=True)
+        for _resident, deepest, entry in decorated:
+            for level in range(deepest, -1, -1):
+                bucket = assignment[level]
+                if len(bucket) < z:
+                    bucket.append(entry.block)
+                    placed.append(entry)
+                    break
+        return assignment, placed
+
+    @property
+    def _plan_height(self) -> int:
+        """Tree height used by the eviction planner."""
+        raise NotImplementedError
+
+    @property
+    def _plan_z(self) -> int:
+        """Bucket capacity used by the eviction planner."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # crash semantics (delegated to the policy)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss: the policy decides what survives."""
+        self.policy.crash()
+        self._crash_dependents()
+
+    def _crash_dependents(self) -> None:
+        """Hierarchy hook: propagate the crash to attached components."""
+
+    def recover(self) -> bool:
+        """Attempt post-crash recovery (policy-defined)."""
+        return self.policy.recover()
+
+    def supports_crash_consistency(self) -> bool:
+        """Whether acknowledged writes survive a crash."""
+        return self.policy.supports_crash_consistency()
+
+    def crash_points(self) -> Tuple[str, ...]:
+        """All crash-injection labels this controller can fire."""
+        return PIPELINE_PHASES + tuple(self.policy.crash_points())
+
+    def _checkpoint(self, label: str) -> None:
+        """Announce a named point to an armed crash injector, if any."""
+        hook = getattr(self, "crash_hook", None)
+        if hook is not None:
+            hook(label)
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.oram_config.num_logical_blocks:
+            raise InvalidAddressError(
+                f"address {address} outside ORAM capacity "
+                f"[0, {self.oram_config.num_logical_blocks})"
+            )
+
+    def _normalize_payload(self, is_write: bool, data: Optional[bytes]) -> Optional[bytes]:
+        if not is_write:
+            if data is not None:
+                raise ValueError("read access must not carry data")
+            return None
+        if data is None:
+            raise ValueError("write access requires data")
+        if len(data) > self.oram_config.block_bytes:
+            raise ValueError(
+                f"payload of {len(data)} bytes exceeds block size "
+                f"{self.oram_config.block_bytes}"
+            )
+        return bytes(data) + bytes(self.oram_config.block_bytes - len(data))
+
+    def _next_version(self) -> int:
+        self._version += 1
+        return self._version
+
+    @property
+    def traffic(self):
+        """The NVM traffic meter (reads/writes by kind)."""
+        return self.memory.traffic

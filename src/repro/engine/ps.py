@@ -1,0 +1,898 @@
+"""The PS-ORAM persistence policies (paper Section 4.2).
+
+Extracted from the former controller subclasses: the temporary PosMap,
+backup block, and atomic dual-WPQ drainer protocol live here as
+:class:`DirtyEntryPSPolicy`, with three specializations:
+
+* :class:`NaiveFlushAllPolicy` — persists ``Z*(L+1)`` PosMap entries per
+  access instead of only the dirty ones (the straw man of Section 4.2.2).
+* :class:`RingDirtyEntryPSPolicy` — the Ring mapping: in-place slot
+  backup, atomic write-back/EvictPath/reshuffle rounds.
+* :class:`RecursiveDirtyEntryPSPolicy` — the recursive PosMap flavour:
+  a persistent intent log instead of flat-region entry flushes.
+
+Durability contract these policies provide (verified by the crash
+test-suite): when ``access`` returns, the access's effect is durable — a
+crash at *any* later point recovers the written value.  A crash in the
+middle of an access atomically rolls the whole access back.  This is
+slightly stronger than the paper states (it never pins down when a write
+becomes durable); the stash-hit-write path performs a full access for
+this reason (see :meth:`DirtyEntryPSPolicy.allow_stash_hit`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.backup import make_backup_entry
+from repro.core.drainer import Drainer
+from repro.core.ordered_eviction import SlotWrite, plan_rounds
+from repro.core.temp_posmap import TempPosMap
+from repro.engine.policy import PersistencePolicy
+from repro.errors import RecoveryError
+from repro.mem.request import RequestKind
+from repro.oram.block import Block
+from repro.oram.stash import StashEntry
+from repro.util.bitops import bucket_index, path_bucket_indices
+from repro.util.stats import LazyCounter
+
+#: Crash-injection labels the Path-hierarchy PS policies fire, beyond the
+#: engine's phase boundaries.
+PS_CRASH_POINTS = (
+    "step2:before-remap",
+    "step2:after-remap",
+    "step4:before-backup",
+    "step4:after-backup",
+    "step5:before-start",
+    "step5:round-open",
+    "step5:before-end",
+    "step5:after-end",
+    "step5:after-flush",
+)
+
+#: The recursive flavour adds the intent-log point.
+RCR_CRASH_POINTS = (
+    "step2:before-remap",
+    "step2:after-intent",
+    "step2:after-remap",
+    "step4:before-backup",
+    "step4:after-backup",
+    "step5:before-start",
+    "step5:round-open",
+    "step5:before-end",
+    "step5:after-end",
+    "step5:after-flush",
+)
+
+#: Labels fired inside the Ring write rounds.
+RING_CRASH_POINTS = (
+    "ring:after-remap",
+    "ring:wb-round-open",
+    "ring:wb-before-end",
+    "ring:wb-after-end",
+    "ring:evict-round-open",
+    "ring:evict-before-end",
+    "ring:evict-after-end",
+)
+
+
+class DirtyEntryPSPolicy(PersistencePolicy):
+    """PS-ORAM: temp PosMap + backup block + atomic dual-WPQ eviction.
+
+    The four crash-consistency mechanisms of paper Section 4.2:
+
+    * **temporary PosMap** (step 2): fresh path ids are parked on-chip;
+      the persistent PosMap keeps pointing at a durable copy of the block.
+    * **backup block** (step 4): the accessed block's current content is
+      cloned with its *old* label and written back onto the old path in
+      the same eviction round, so a durable copy always exists.
+    * **atomic dual-WPQ eviction** (step 5-A/B/C): the full-path write and
+      the dirty PosMap entries commit in one drainer-bracketed round.
+    * **dirty-entry persistence**: only PosMap entries whose blocks were
+      just durably evicted are flushed.
+    """
+
+    #: Persistent bounce lines available to the limited-WPQ ordered
+    #: eviction for breaking slot-permutation cycles longer than the WPQ.
+    BOUNCE_LINES = 16
+
+    #: Checkpoint labels around the remap (the Ring flavour renames and
+    #: drops some of them to keep its historical injection points).
+    CHECKPOINT_BEFORE_REMAP: Optional[str] = "step2:before-remap"
+    CHECKPOINT_AFTER_REMAP = "step2:after-remap"
+    COUNT_TEMP_INSERTS = True
+
+    def attach(self, controller) -> None:
+        super().attach(controller)
+        c = controller
+        c.temp_posmap = TempPosMap(c.oram_config.temp_posmap_capacity)
+        region = c.persistent_posmap.region
+        c._version_line = region.base + region.size_bytes
+        line = c.oram_config.block_bytes
+        bounce = getattr(c, "BOUNCE_LINES", self.BOUNCE_LINES)
+        c._bounce_lines = [c._version_line + (1 + i) * line for i in range(bounce)]
+        c.drainer = Drainer(
+            c.memory,
+            data_capacity=max(c.config.wpq.data_entries, 1),
+            posmap_capacity=max(c.config.wpq.posmap_entries, 1),
+            apply_posmap_entry=self._commit_posmap_entry,
+            version_line=c._version_line,
+            version_provider=lambda: c._version,
+        )
+        # Pending label graduation from a stash-hit write (see remap()).
+        self._graduate: Optional[Tuple[int, int]] = None
+        self._pad_cursor = 0
+        # Per-access counters, bound once (see the hierarchy __init__s).
+        self._c_temp_posmap_inserts = LazyCounter(c.stats, "temp_posmap_inserts")
+        self._c_backups_created = LazyCounter(c.stats, "backups_created")
+        self._c_posmap_persisted = LazyCounter(c.stats, "posmap_entries_persisted")
+        # Injection point for the crash harness: called with a label at
+        # each persistence-relevant step; raises SimulatedCrash to unwind.
+        c.crash_hook = None
+
+    # ------------------------------------------------------------------
+    # position map view (step 2)
+    # ------------------------------------------------------------------
+
+    def pending_position(self, address: int) -> Optional[int]:
+        """Architecturally current mapping: temporary PosMap first."""
+        return self.c.temp_posmap.get(address)
+
+    def allow_stash_hit(self, mutates: bool) -> bool:
+        # Reads may short-circuit; writes run the full protocol so the new
+        # value is durable when the access returns.
+        return not mutates
+
+    def remap(self, address: int) -> Tuple[int, int]:
+        """Step 2: backup label — the new path id goes to the temp PosMap.
+
+        The *old* path returned for the path read is normally the
+        persistent PosMap's value (where recovery will look, so where the
+        backup must land).  When the block is still stash-resident with a
+        *pending* remap — a stash-hit write — re-reading the persistent
+        label would repeat an already-observed path (a leak).  Instead the
+        pending label is read (fresh, never revealed) and **graduates** to
+        persistent in the same atomic round that writes the backup onto it,
+        so recovery stays sound and every observed path id is a fresh
+        uniform draw.
+        """
+        c = self.c
+        if self.CHECKPOINT_BEFORE_REMAP is not None:
+            c._checkpoint(self.CHECKPOINT_BEFORE_REMAP)
+        if c.temp_posmap.is_full:
+            self._relieve_temp_posmap()
+        pending = c.temp_posmap.get(address)
+        if pending is not None:
+            old_path = pending
+            self._graduate = (address, pending)
+            c.stats.counter("labels_graduated").add()
+        else:
+            old_path = c.posmap.get(address)  # where recovery will look
+            self._graduate = None
+        new_path = c.rng.randrange(c.posmap.num_leaves)
+        c.temp_posmap.set(address, new_path)
+        if self.COUNT_TEMP_INSERTS:
+            self._c_temp_posmap_inserts.add()
+        c._checkpoint(self.CHECKPOINT_AFTER_REMAP)
+        return old_path, new_path
+
+    # ------------------------------------------------------------------
+    # backup block (step 4)
+    # ------------------------------------------------------------------
+
+    def pre_relabel(self, target: StashEntry, old_path: int, new_path: int) -> None:
+        """Step 4: backup data — clone the block onto its old label."""
+        c = self.c
+        c._checkpoint("step4:before-backup")
+        backup = make_backup_entry(target, old_path)
+        # The block's current durable copy on the eviction path: either the
+        # slot the target was just fetched from, or (stash-hit write) the
+        # previous backup's slot.  The fresh backup's write must commit
+        # before that slot is overwritten (limited-WPQ ordering).
+        backup.fetch_round = c._round
+        if target.fetch_round == c._round and target.source_line is not None:
+            backup.source_line = target.source_line
+        else:
+            backup.source_line = c._stale_line_of.get(target.block.address)
+        c.stash.add(backup)
+        self._c_backups_created.add()
+
+    def post_relabel(self, target: StashEntry, old_path: int, new_path: int) -> None:
+        self.c._checkpoint("step4:after-backup")
+
+    # ------------------------------------------------------------------
+    # persistent eviction (step 5)
+    # ------------------------------------------------------------------
+
+    def evict(self, path_id: int) -> None:
+        """Step 5: persistent eviction through the dual WPQs (5-A/B/C).
+
+        With full-path-sized WPQs (the paper's 96-entry sizing) the whole
+        eviction is one atomic round.  With smaller WPQs the write-back is
+        split into ordered rounds per Section 4.2.3 — see
+        :mod:`repro.core.ordered_eviction`.
+        """
+        c = self.c
+        assignment, placed = c._plan_eviction(path_id)
+
+        # 5-A: encrypt eviction candidates and identify dirty PosMap entries.
+        c._checkpoint("step5:before-start")
+        writes = self._encode_assignment(path_id, assignment, placed)
+        dirty_entries = self._dirty_entries_for(placed)
+        c.now += c.engine.batch_latency_cycles(len(writes))
+
+        if len(writes) <= c.drainer.data_wpq.capacity:
+            rounds = [writes]
+        else:
+            rounds = plan_rounds(
+                writes, c.drainer.data_wpq.capacity, c._bounce_lines
+            )
+            c.stats.counter("ordered_eviction_rounds").add(len(rounds))
+            bounced = sum(len(r) for r in rounds) - len(writes)
+            if bounced:
+                c.stats.counter("bounce_writes").add(bounced)
+
+        # Associate each dirty entry with the round that writes its block,
+        # so data and metadata commit in the same atomic round — an entry
+        # committing *before* its block is exactly the Section-3.3 Case-1b
+        # hazard.  Live entries ride the live copy's round; graduated
+        # labels (stash-hit writes) ride the backup's round.  Entries with
+        # no matching write anywhere (Naive's per-dummy-slot padding)
+        # carry no consistency obligation and spread across rounds.
+        tagged = [(address, path, False) for address, path in dirty_entries]
+        if self._graduate is not None:
+            address, path = self._graduate
+            tagged.append((address, path, True))
+            self._graduate = None
+        all_keys = {
+            (w.entry_key, w.is_backup_write)
+            for r in rounds for w in r if w.entry_key is not None
+        }
+        remaining = [e for e in tagged if (e[0], e[2]) in all_keys]
+        padding = [e for e in tagged if (e[0], e[2]) not in all_keys]
+        persisted: List[Tuple[int, int]] = []
+        for index, round_writes in enumerate(rounds):
+            last_round = index == len(rounds) - 1
+            keys = {
+                (w.entry_key, w.is_backup_write)
+                for w in round_writes if w.entry_key is not None
+            }
+            round_entries = [e for e in remaining if (e[0], e[2]) in keys]
+            remaining = [e for e in remaining if (e[0], e[2]) not in keys]
+            room = c.drainer.posmap_wpq.capacity - len(round_entries)
+            if last_round:
+                round_entries.extend(padding)
+                padding = []
+            else:
+                round_entries.extend(padding[:room])
+                padding = padding[room:]
+
+            # 5-B: "start" signal, push data + metadata into the WPQs.
+            c.drainer.start()
+            c._checkpoint("step5:round-open")
+            for write in round_writes:
+                c.drainer.push_block(write.line_address, write.wire)
+            for address, pending_path, _backup_bound in round_entries:
+                c.drainer.push_posmap_entry(
+                    self._entry_line(address), address, pending_path
+                )
+            c._checkpoint("step5:before-end")
+
+            # 5-C: "end" signal — the round is now atomic — then flush.
+            c.drainer.end()
+            c._checkpoint("step5:after-end")
+            mem_start = c.clock.core_to_mem(c.now)
+            c.drainer.flush(mem_start, posmap_kind=self._posmap_persist_kind())
+            persisted.extend(
+                (address, path) for address, path, _bound in round_entries
+            )
+
+        for address, path in persisted:
+            # Only retire a pending remap that this eviction actually made
+            # durable (Naive-PS-ORAM also pushes non-dirty entries; a
+            # graduated label differs from the fresh pending one and stays).
+            if c.temp_posmap.get(address) == path:
+                c.temp_posmap.pop(address)
+        self._c_posmap_persisted.add(len(persisted))
+        c._finish_eviction(placed)
+        c._checkpoint("step5:after-flush")
+
+    # ------------------------------------------------------------------
+    # eviction helpers
+    # ------------------------------------------------------------------
+
+    def _encode_assignment(
+        self,
+        path_id: int,
+        assignment: List[List[Block]],
+        placed: List[StashEntry],
+    ) -> List[SlotWrite]:
+        """Encrypt every slot of the eviction path (dummy-padded).
+
+        Each write carries the block's current durable line (for ordered
+        eviction) and its logical address (so the matching dirty PosMap
+        entry commits in the same atomic round).
+        """
+        c = self.c
+        entry_by_block = {id(entry.block): entry for entry in placed}
+        writes: List[SlotWrite] = []
+        z = c.tree.z
+        encode = c.codec.encode
+        round_ = c._round
+        dummy = Block.dummy_template(c.codec.block_bytes)
+        addresses = c.tree.path_addresses(path_id)
+        cursor = 0
+        for level_blocks in assignment:
+            for slot in range(z):
+                block = level_blocks[slot] if slot < len(level_blocks) else dummy
+                line_address = addresses[cursor]
+                cursor += 1
+                entry = entry_by_block.get(id(block))
+                old_line = None
+                entry_key = None
+                is_backup_write = False
+                if entry is not None and not block.is_dummy:
+                    entry_key = block.address
+                    is_backup_write = entry.is_backup
+                    if entry.fetch_round == round_:
+                        old_line = entry.source_line
+                writes.append(SlotWrite(line_address, encode(block),
+                                        old_line=old_line, entry_key=entry_key,
+                                        is_backup_write=is_backup_write))
+        return writes
+
+    def _dirty_entries_for(
+        self, placed: List[StashEntry]
+    ) -> List[Tuple[int, int]]:
+        """Temporary-PosMap entries whose blocks become durable this round.
+
+        An entry ``(a, l')`` may persist exactly when the live copy of ``a``
+        is in this round's write-back with label ``l'`` — afterwards the
+        persistent PosMap and the tree agree.  This is the dirty-only
+        persistence that separates PS-ORAM from Naive-PS-ORAM.
+        """
+        c = self.c
+        dirty: List[Tuple[int, int]] = []
+        for entry in placed:
+            if entry.is_backup:
+                continue
+            pending = c.temp_posmap.get(entry.block.address)
+            if pending is not None and pending == entry.block.path_id:
+                dirty.append((entry.block.address, pending))
+        return dirty
+
+    def _posmap_persist_kind(self) -> RequestKind:
+        """Traffic class for PosMap entry flushes (hook for variants)."""
+        return RequestKind.PERSIST
+
+    def _entry_line(self, address: int) -> int:
+        """NVM line a PosMap entry write targets.
+
+        Padding entries (sentinel address -1, Naive-PS-ORAM) rotate over
+        the PosMap region so their timed writes spread across banks the way
+        real entry writes would.
+        """
+        c = self.c
+        region = c.persistent_posmap.region
+        if address >= 0:
+            return region.entry_address(address)
+        self._pad_cursor += 1
+        lines = max(1, region.size_bytes // c.oram_config.block_bytes)
+        return region.base + (self._pad_cursor % lines) * c.oram_config.block_bytes
+
+    def _commit_posmap_entry(self, address: int, path_id: int) -> int:
+        """Apply one drained entry: persistent image + on-chip mirror."""
+        c = self.c
+        line_address = c.persistent_posmap.write_entry(address, path_id)
+        c.posmap.set(address, path_id)
+        return line_address
+
+    def _relieve_temp_posmap(self) -> None:
+        """Free a temporary-PosMap slot via a background eviction.
+
+        The oldest pending entry's block is, by invariant, still live in the
+        stash; reading and evicting the block's *new* path writes it out
+        durably, which drains the entry.  The background access looks like
+        any other ORAM access on the bus (a uniformly random path), so no
+        information leaks.
+        """
+        c = self.c
+        oldest = c.temp_posmap.oldest()
+        if oldest is None:
+            return
+        address, pending_path = oldest
+        c.stats.counter("background_evictions").add()
+        mem_start = c.clock.core_to_mem(c.now)
+        blocks, mem_finish = c.tree.read_path(pending_path, mem_start)
+        c.now = c.clock.mem_to_core(mem_finish)
+        c.now += c.engine.batch_latency_cycles(len(blocks))
+        c._absorb_blocks(blocks, target_address=address)
+        c._evict(pending_path)
+        if address in c.temp_posmap:
+            # The block could not be placed even on its own path — only
+            # possible under extreme stash pressure.  Give up loudly rather
+            # than silently violating the durability contract.
+            raise RecoveryError(
+                f"background eviction failed to drain entry for block {address}"
+            )
+
+    # ------------------------------------------------------------------
+    # crash / recovery (Section 4.3)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss: ADR completes committed WPQ rounds, SRAM vanishes."""
+        c = self.c
+        c.drainer.crash_flush()
+        c.temp_posmap.clear()
+        c.stash.clear()
+        c.posmap.clear()  # on-chip mirror; the persistent image survives
+        c.stats.counter("crashes").add()
+
+    def recover(self) -> bool:
+        """Rebuild the on-chip state from the persistent image.
+
+        The stash and temporary PosMap restart empty — every block they held
+        has a durable copy reachable through the persistent PosMap (the
+        backup-block invariant).  Only the PosMap mirror needs rebuilding.
+        """
+        c = self.c
+        c.posmap.clear()
+        for address, path_id in c.persistent_posmap.iter_written_entries():
+            c.posmap.set(address, path_id)
+        self._restore_version_counter()
+        self._restore_bounce_blocks()
+        c.stats.counter("recoveries").add()
+        return True
+
+    def _restore_bounce_blocks(self) -> None:
+        """Re-insert bounce-region copies orphaned by a mid-chain crash.
+
+        A bounce copy matters only when the crash cut an ordered-eviction
+        chain after the block's old slot was overwritten but before its new
+        slot committed: then the bounce line holds the only durable copy.
+        The copy is valid iff the PosMap still maps the block to the bounce
+        copy's label and no on-path copy has an equal-or-newer version; a
+        valid copy is placed into a free slot on its path.
+        """
+        c = self.c
+        for line in c._bounce_lines:
+            wire = c.memory.load_line(line)
+            if wire is None or len(wire) != c.codec.wire_bytes:
+                continue
+            block = c.codec.decode(wire)
+            if block.is_dummy:
+                continue
+            if c.posmap.get(block.address) != block.path_id:
+                continue  # stale bounce copy from an older eviction
+            newest_on_path = -1
+            for candidate in c.tree.read_path_headers(block.path_id):
+                if candidate.address == block.address and candidate.path_id == block.path_id:
+                    newest_on_path = max(newest_on_path, candidate.version)
+            if newest_on_path >= block.version:
+                continue  # the tree already holds this (or a newer) copy
+            self._place_block_functionally(block)
+            c.stats.counter("bounce_blocks_restored").add()
+            c.memory.store_line(line, b"")
+
+    def _place_block_functionally(self, block: Block) -> None:
+        """Put a recovered block into a free slot on its path (recovery only)."""
+        c = self.c
+        for level in range(c.tree.height, -1, -1):
+            b_idx = bucket_index(block.path_id, level, c.tree.height)
+            for slot in range(c.tree.z):
+                resident = c.tree.load_slot(b_idx, slot)
+                if resident.is_dummy:
+                    c.tree.store_slot(b_idx, slot, block)
+                    return
+        raise RecoveryError(
+            f"no free slot on path {block.path_id} to restore block "
+            f"{block.address} from the bounce region"
+        )
+
+    def supports_crash_consistency(self) -> bool:
+        return True
+
+    def crash_points(self) -> Tuple[str, ...]:
+        return PS_CRASH_POINTS
+
+
+class NaiveFlushAllPolicy(DirtyEntryPSPolicy):
+    """Naive-PS-ORAM: flush-all PosMap persistence (Section 4.2.2 footnote).
+
+    Identical to PS-ORAM except in what it pushes into the PosMap WPQ:
+    instead of only the *dirty* entries, it persists one PosMap entry for
+    **every** slot written on the eviction path — ``Z * (L + 1)``
+    non-coalesced entry writes per access.
+    """
+
+    def _dirty_entries_for(
+        self, placed: List[StashEntry]
+    ) -> List[Tuple[int, int]]:
+        """Persist an entry for every slot on the path, not just dirty ones.
+
+        Live placed blocks persist their architecturally current mapping.
+        The remaining slots up to ``Z * (L + 1)`` — dummies and backup
+        copies — become padding entry writes (sentinel address -1): the
+        line write happens (that is the overhead being measured) but no
+        mapping changes, so a padding write can never regress a real entry.
+        """
+        c = self.c
+        entries: List[Tuple[int, int]] = []
+        for entry in placed:
+            if entry.is_backup:
+                continue
+            address = entry.block.address
+            pending = c.temp_posmap.get(address)
+            path = pending if pending is not None else c.posmap.get(address)
+            entries.append((address, path))
+        padding = c.tree.path_slots - len(entries)
+        entries.extend((-1, 0) for _ in range(max(0, padding)))
+        return entries
+
+
+class RingDirtyEntryPSPolicy(DirtyEntryPSPolicy):
+    """PS-Ring: the PS mechanisms mapped onto Ring ORAM's write points.
+
+    * temporary PosMap — identical to the Path flavour;
+    * backup block — **in-place slot write-back**: every slot read on the
+      access path is re-written in one atomic WPQ round; the slot where
+      the target was found receives the *fresh* data under the old label;
+    * atomic dual-WPQ round — brackets the access write-back, every
+      EvictPath and every early reshuffle;
+    * dirty-entry persist — entries ride the EvictPath round that places
+      their block, exactly as in PS-ORAM.
+    """
+
+    CHECKPOINT_BEFORE_REMAP = None
+    CHECKPOINT_AFTER_REMAP = "ring:after-remap"
+    COUNT_TEMP_INSERTS = False
+
+    def attach(self, controller) -> None:
+        PersistencePolicy.attach(self, controller)
+        c = controller
+        c.temp_posmap = TempPosMap(c.config.oram.temp_posmap_capacity)
+        region = c.persistent_posmap.region
+        c._version_line = region.base + region.size_bytes
+        # An EvictPath round stages (Z+S) slots + 1 metadata line per level;
+        # the WPQ must hold one full path (the paper's sizing rule applied
+        # to Ring's bigger path).
+        needed = (c.params.slots_per_bucket + 1) * (c.store.height + 1)
+        c.drainer = Drainer(
+            c.memory,
+            data_capacity=max(c.config.wpq.data_entries, needed),
+            posmap_capacity=max(c.config.wpq.posmap_entries, 8),
+            apply_posmap_entry=self._commit_posmap_entry,
+            version_line=c._version_line,
+            version_provider=lambda: c._version,
+        )
+        self._backup_info: Optional[Tuple[int, int, bytes, int]] = None
+        self._evict_preserved: set = set()
+        self._graduate: Optional[Tuple[int, int]] = None
+        # No bounce region / pad cursor: Ring rounds always fit the WPQ.
+        # (crash_hook is owned by the Ring hierarchy's __init__.)
+
+    # -- in-place backup: the atomic access write-back -------------------
+
+    def pre_relabel(self, target: StashEntry, old_path: int, new_path: int) -> None:
+        # Capture the backup content *before* the label/version bump so the
+        # live copy always wins version comparison.
+        self._backup_info = (
+            target.block.address,
+            old_path,
+            target.block.data,
+            target.block.version,
+        )
+
+    def post_relabel(self, target: StashEntry, old_path: int, new_path: int) -> None:
+        pass
+
+    def write_back_access(self, target: StashEntry, old_path: int) -> None:
+        """One atomic WPQ round: every read slot re-written + metadata.
+
+        The backup slot receives the target's fresh data under the old
+        label; all other read slots become re-encrypted consumed dummies.
+        """
+        c = self.c
+        touched = c._touched
+        c._touched = []
+        if not touched:
+            return
+        backup = self._backup_info
+        self._backup_info = None
+
+        c.drainer.start()
+        c._checkpoint("ring:wb-round-open")
+        for bucket_idx, metadata, slot in touched:
+            if backup is not None and c._backup_slot == (bucket_idx, slot):
+                address, label, _old_data, version = backup
+                block = Block(address=address, path_id=label,
+                              data=target.block.data, version=version)
+                metadata.addresses[slot] = address
+                metadata.consumed[slot] = False
+                c.stats.counter("inplace_backups").add()
+            else:
+                block = Block.dummy(c.codec.block_bytes)
+            c.drainer.push_block(
+                c.store.slot_address(bucket_idx, slot),
+                c.codec.encode(block),
+            )
+            c.drainer.push_block(
+                c.store.layout.metadata_address(bucket_idx),
+                self._encode_metadata(metadata),
+            )
+        if self._graduate is not None:
+            # The pending label becomes persistent atomically with the
+            # backup now sitting on it.
+            address, path = self._graduate
+            self._graduate = None
+            c.drainer.push_posmap_entry(
+                c.persistent_posmap.region.entry_address(address),
+                address, path,
+            )
+        c._checkpoint("ring:wb-before-end")
+        c.drainer.end()
+        c._checkpoint("ring:wb-after-end")
+        c.drainer.flush(c.clock.core_to_mem(c.now))
+
+    def _encode_metadata(self, metadata) -> bytes:
+        c = self.c
+        c.store._meta_iv += 1
+        return metadata.encode(c.engine, c.store._meta_iv)
+
+    # -- EvictPath and reshuffle through atomic rounds --------------------
+
+    def absorb_shadowed(self, block: Block) -> None:
+        """Preserve the durable copy of a stash-resident pending block.
+
+        If this tree copy is where the *persistent* PosMap points and the
+        live block's remap is still pending, it is the block's only durable
+        copy: re-add it as a backup stash entry so the eviction planner
+        (which prioritizes backups) writes it back out.
+        """
+        c = self.c
+        pending = c.temp_posmap.get(block.address)
+        if pending is None:
+            c.stats.counter("stale_copies_dropped").add()
+            return
+        if block.path_id != c.posmap.get(block.address):
+            c.stats.counter("stale_copies_dropped").add()
+            return
+        if block.address in self._evict_preserved:
+            return
+        self._evict_preserved.add(block.address)
+        c.stash.add(StashEntry(block, dirty=True, is_backup=True,
+                               fetch_round=c._round))
+        c.stats.counter("evict_backups_preserved").add()
+
+    def reshuffle_shadowed(self, block: Block) -> List[Block]:
+        c = self.c
+        pending = c.temp_posmap.get(block.address)
+        if pending is not None and block.path_id == c.posmap.get(block.address):
+            return [block]  # keep the durable copy in the bucket
+        return []
+
+    def begin_evict_path(self) -> None:
+        self._evict_preserved = set()
+
+    def evict_write_path(self, path_id: int, assignment, placed) -> None:
+        """EvictPath: slots + metadata + dirty entries in one atomic round."""
+        c = self.c
+        dirty = []
+        for entry in placed:
+            if entry.is_backup:
+                continue
+            pending = c.temp_posmap.get(entry.block.address)
+            if pending is not None and pending == entry.block.path_id:
+                dirty.append((entry.block.address, pending))
+
+        c.drainer.start()
+        c._checkpoint("ring:evict-round-open")
+        for level, bucket_idx in enumerate(c.store.path_buckets(path_id)):
+            blocks, metadata = c._permuted_bucket(assignment[level])
+            for slot, block in enumerate(blocks):
+                c.drainer.push_block(
+                    c.store.slot_address(bucket_idx, slot),
+                    c.codec.encode(block),
+                )
+            c.drainer.push_block(
+                c.store.layout.metadata_address(bucket_idx),
+                self._encode_metadata(metadata),
+            )
+        for address, pending in dirty:
+            c.drainer.push_posmap_entry(
+                c.persistent_posmap.region.entry_address(address),
+                address, pending,
+            )
+        c._checkpoint("ring:evict-before-end")
+        c.drainer.end()
+        c._checkpoint("ring:evict-after-end")
+        c.drainer.flush(c.clock.core_to_mem(c.now))
+        for address, pending in dirty:
+            if c.temp_posmap.get(address) == pending:
+                c.temp_posmap.pop(address)
+        c.stats.counter("posmap_entries_persisted").add(len(dirty))
+
+    def write_bucket(self, bucket_idx: int, blocks, metadata) -> None:
+        """Early reshuffle commits atomically too."""
+        c = self.c
+        c.drainer.start()
+        for slot, block in enumerate(blocks):
+            c.drainer.push_block(
+                c.store.slot_address(bucket_idx, slot),
+                c.codec.encode(block),
+            )
+        c.drainer.push_block(
+            c.store.layout.metadata_address(bucket_idx),
+            self._encode_metadata(metadata),
+        )
+        c.drainer.end()
+        c.drainer.flush(c.clock.core_to_mem(c.now))
+
+    def _relieve_temp_posmap(self) -> None:
+        """Drain pressure by forcing EvictPath rounds."""
+        c = self.c
+        for _ in range(4 * c.params.a):
+            if not c.temp_posmap.is_full:
+                return
+            c._evict_path()
+        if c.temp_posmap.is_full:  # pragma: no cover - pathological
+            raise RecoveryError("temporary PosMap pressure not relieved")
+
+    # -- crash / recovery --------------------------------------------------
+
+    def recover(self) -> bool:
+        c = self.c
+        c.posmap.clear()
+        for address, path_id in c.persistent_posmap.iter_written_entries():
+            c.posmap.set(address, path_id)
+        self._restore_version_counter()
+        c.stats.counter("recoveries").add()
+        return True
+
+    def crash_points(self) -> Tuple[str, ...]:
+        return RING_CRASH_POINTS
+
+
+class RecursiveDirtyEntryPSPolicy(DirtyEntryPSPolicy):
+    """Rcr-PS-ORAM: the recursive flavour (paper Sections 4.4, 5.1).
+
+    The data tree runs the PS protocol; the posmap tree is its own
+    PS-ORAM instance; a data-block remap is written into the posmap tree
+    at access time, guarded by a persistent **intent log** (one line
+    write per access) that recovery replays to close the Section-3.3
+    Case-1 hazard.
+    """
+
+    def remap(self, address: int) -> Tuple[int, int]:
+        c = self.c
+        c._checkpoint("step2:before-remap")
+        old_path = c.posmap.get(address)
+        new_path = c.rng.randrange(c.posmap.num_leaves)
+        # 1. Persist the intent (one line write) *before* the posmap tree
+        #    learns the new path — recovery can then always reconcile.
+        finish_mem = c.intent_log.append(
+            address, old_path, new_path, c.clock.core_to_mem(c.now)
+        )
+        c.now = c.clock.mem_to_core(finish_mem)
+        c._checkpoint("step2:after-intent")
+        # 2. Timed posmap-tree read-modify-write, like Rcr-Baseline.
+        c.posmap.set(address, new_path)
+        c.posmap_oram.now = c.now
+        c.posmap_oram.lookup_update(address, new_path)
+        c.now = c.posmap_oram.now
+        c.stats.counter("temp_posmap_inserts").add()
+        c._checkpoint("step2:after-remap")
+        return old_path, new_path
+
+    def _dirty_entries_for(
+        self, placed: List[StashEntry]
+    ) -> List[Tuple[int, int]]:
+        """No flat-region entry flushes: the posmap tree is the PosMap home."""
+        return []
+
+    def _posmap_persist_kind(self) -> RequestKind:
+        return RequestKind.POSMAP
+
+    # -- crash / recovery (Section 4.3, recursive flavour) -----------------
+
+    def recover(self) -> bool:
+        """Recover posmap tree, data mirror, then reconcile intents."""
+        c = self.c
+        if not c.posmap_oram.controller.recover():
+            return False
+        self._rebuild_posmap_mirror()
+        self._restore_version_counter()
+        c.intent_log.restore_sequence()
+        self._reconcile_intents()
+        c.stats.counter("recoveries").add()
+        return True
+
+    def _rebuild_posmap_mirror(self) -> None:
+        """Walk the posmap tree functionally and rebuild the on-chip mirror.
+
+        For each posmap block, the copies on its (recovered) path are
+        decoded and the highest-version valid one supplies the entries.
+        """
+        c = self.c
+        c.posmap.clear()
+        inner = c.posmap_oram.controller
+        pm_tree = inner.tree
+        entries_per_block = c.posmap_oram.entries_per_block
+        seen_versions = {}
+        best_blocks = {}
+        for bucket_idx in range(pm_tree.region.num_buckets):
+            for slot in range(pm_tree.z):
+                wire = c.memory.load_line(pm_tree.region.slot_address(bucket_idx, slot))
+                if wire is None:
+                    continue
+                block = pm_tree.codec.decode(wire)
+                if block.is_dummy:
+                    continue
+                expected = inner.posmap.get(block.address)
+                if block.path_id != expected:
+                    continue  # stale copy off the architectural path
+                if block.version > seen_versions.get(block.address, -1):
+                    seen_versions[block.address] = block.version
+                    best_blocks[block.address] = block
+        for pb_index, block in best_blocks.items():
+            for slot in range(entries_per_block):
+                address = pb_index * entries_per_block + slot
+                if address >= c.posmap.num_entries:
+                    break
+                path = c.posmap_oram._decode(block.data, slot, address)
+                if path != c.posmap.initial_path(address):
+                    c.posmap.set(address, path)
+
+    def _reconcile_intents(self) -> None:
+        """Resolve every logged intent against the tree's actual content.
+
+        For each intent (newest record wins per address), the candidate
+        paths {current entry, old, new} are scanned for copies of the block;
+        the highest-version copy whose header matches the path it sits on is
+        authoritative, and the mirror entry is pointed at it.
+        """
+        c = self.c
+        latest = {}
+        for seq, address, old_path, new_path in c.intent_log.records():
+            latest[address] = (seq, old_path, new_path)
+        for address, (_, old_path, new_path) in sorted(latest.items()):
+            if address >= c.posmap.num_entries:
+                continue
+            current = c.posmap.get(address)
+            candidates = {current, old_path, new_path}
+            best_block = None
+            for path in candidates:
+                block = self._find_copy_on_path(address, path)
+                if block is not None and (
+                    best_block is None or block.version > best_block.version
+                ):
+                    best_block = block
+            if best_block is not None and best_block.path_id != current:
+                c.posmap.set(address, best_block.path_id)
+                c.stats.counter("intents_repaired").add()
+
+    def _find_copy_on_path(self, address: int, path_id: int) -> Optional[Block]:
+        """Highest-version copy of ``address`` on ``path_id`` whose header
+        claims that very path (functional scan, recovery-time only)."""
+        c = self.c
+        best: Optional[Block] = None
+        for bucket_idx in path_bucket_indices(path_id, c.tree.height):
+            for slot in range(c.tree.z):
+                wire = c.memory.load_line(
+                    c.tree.region.slot_address(bucket_idx, slot)
+                )
+                if wire is None:
+                    continue
+                block = c.tree.codec.decode_header(wire)
+                if block.is_dummy or block.address != address:
+                    continue
+                if block.path_id != path_id:
+                    continue
+                if best is None or block.version > best.version:
+                    full = c.tree.codec.decode(wire)
+                    best = full
+        return best
+
+    def crash_points(self) -> Tuple[str, ...]:
+        return RCR_CRASH_POINTS

@@ -1,0 +1,58 @@
+"""Variant registry: evaluated systems as hierarchy × policy × posmap rows.
+
+Every system the paper evaluates is a :class:`VariantSpec` — an assembly
+of one access hierarchy (path / ring / plain), one persistence policy and
+one PosMap mode (flat on-chip vs recursive) — registered here by
+:mod:`repro.core.variants`.  Nothing in the registry is a subclass; the
+``factory`` closes over the assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One evaluated system: a (hierarchy, policy, posmap) assembly."""
+
+    name: str
+    hierarchy: str  #: "path" | "ring" | "plain"
+    policy: str  #: "volatile" | "naive-flush-all" | "dirty-entry-ps" | ...
+    posmap: str  #: "flat" | "recursive"
+    summary: str  #: one-line description for --list-variants
+    factory: Callable
+
+
+REGISTRY: Dict[str, VariantSpec] = {}
+
+
+def register(spec: VariantSpec) -> VariantSpec:
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_registered() -> None:
+    # The specs live in repro.core.variants (which imports the hierarchy
+    # modules); load lazily so `import repro.engine` stays lightweight.
+    if not REGISTRY:
+        import repro.core.variants  # noqa: F401
+
+
+def build_variant(name: str, config, **kwargs):
+    """Instantiate the named variant's controller for ``config``."""
+    _ensure_registered()
+    try:
+        spec = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown variant {name!r}; known: {', '.join(sorted(REGISTRY))}"
+        ) from None
+    return spec.factory(config, **kwargs)
+
+
+def variant_specs() -> List[VariantSpec]:
+    """All registered specs, sorted by name."""
+    _ensure_registered()
+    return [REGISTRY[name] for name in sorted(REGISTRY)]

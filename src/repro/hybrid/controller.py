@@ -55,7 +55,7 @@ class _HybridTree(ORAMTree):
             for slot in range(self.z):
                 address = self.region.slot_address(b_idx, slot)
                 target = self.dram if self.treetop.is_dram(address) else self.memory
-                request = target.access(address, Access.READ, start_cycle, self.kind)
+                request = target.issue(address, Access.READ, start_cycle, self.kind)
                 complete = request.complete_cycle
                 if complete is not None and complete > finish:
                     finish = complete
@@ -115,11 +115,10 @@ class HybridPSORAMController(PSORAMController):
             b_idx = bucket_index(path_id, level, self.tree.height)
             for slot in range(self.tree.z):
                 address = self.tree.region.slot_address(b_idx, slot)
-                self.dram.access(address, Access.WRITE, mem_now, RequestKind.DATA_PATH)
+                self.dram.issue(address, Access.WRITE, mem_now, RequestKind.DATA_PATH)
 
-    def crash(self) -> None:
+    def _crash_dependents(self) -> None:
         """DRAM replica evaporates; everything durable is in NVM already."""
-        super().crash()
         self.dram.reset_timing()
 
     def dram_read_fraction(self) -> float:

@@ -98,7 +98,7 @@ class NVMMainMemory:
         """Channel-local line index for bank striping."""
         return (address // self.line_bytes) // len(self.channels)
 
-    def access(
+    def issue(
         self,
         address: int,
         access: Access,
@@ -147,7 +147,7 @@ class NVMMainMemory:
         """
         finish = arrival_cycle
         for address in addresses:
-            request = self.access(address, access, arrival_cycle, kind)
+            request = self.issue(address, access, arrival_cycle, kind)
             complete = request.complete_cycle
             if complete is not None and complete > finish:
                 finish = complete

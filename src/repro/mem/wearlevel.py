@@ -108,10 +108,10 @@ class StartGapRemapper:
         self._writes_since_move = 0
         self._randomizer = FeistelPermutation(num_lines) if randomize else None
         self.stats = StatSet("startgap")
-        self._original_access = memory.access
+        self._original_access = memory.issue
         self._original_store = memory.store_line
         self._original_load = memory.load_line
-        memory.access = self._tapped_access  # type: ignore[assignment]
+        memory.issue = self._tapped_access  # type: ignore[assignment]
         memory.store_line = self._tapped_store  # type: ignore[assignment]
         memory.load_line = self._tapped_load  # type: ignore[assignment]
 
@@ -206,7 +206,7 @@ class StartGapRemapper:
 
     def detach(self) -> None:
         """Stop remapping (for tests; real hardware never detaches)."""
-        self.memory.access = self._original_access  # type: ignore[assignment]
+        self.memory.issue = self._original_access  # type: ignore[assignment]
         self.memory.store_line = self._original_store  # type: ignore[assignment]
         self.memory.load_line = self._original_load  # type: ignore[assignment]
 

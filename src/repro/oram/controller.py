@@ -1,20 +1,22 @@
-"""Baseline Path ORAM controller (no crash-consistency support).
+"""Path ORAM hierarchy: the tree/stash mechanics behind the access engine.
 
-Implements the five-step access protocol of paper Section 2.2.2:
+Implements the five-step access protocol of paper Section 2.2.2 by
+filling in the hierarchy hooks of :class:`repro.engine.AccessEngine`:
 
-1. **Check stash** — hit returns immediately.
-2. **Access PosMap** — look up path id ``l``, remap to a fresh ``l'``.
-3. **Load path** — timed read + decrypt of every slot on path ``l``.
+1. **Check stash** — hit returns immediately (``_lookup_phase``).
+2. **Access PosMap** — look up path id ``l``, remap to a fresh ``l'``
+   (the attached persistence policy decides how).
+3. **Load path** — timed read + decrypt of every slot on path ``l``
+   (``_fetch_blocks``).
 4. **Update stash** — target header updated to ``l'``; program data
-   read/written.
+   read/written (``_absorb_fetched`` + the engine's program-op phase).
 5. **Evict path** — greedy deepest-first placement, full-path re-encrypted
-   write-back to path ``l``.
+   write-back to path ``l`` (the policy's ``evict``).
 
-The class exposes protected hooks (``_remap``, ``_after_fetch``,
-``_evict``, ``crash``/``recover``) that the PS-ORAM variants in
-:mod:`repro.core` override; the access skeleton itself never changes, which
-mirrors the paper's claim that PS-ORAM preserves the baseline access
-sequence shape.
+Persistence differences (baseline vs Naive/PS/eADR/FullNVM) live entirely
+in the attached :class:`repro.engine.PersistencePolicy`; the access
+skeleton never changes, which mirrors the paper's claim that PS-ORAM
+preserves the baseline access sequence shape.
 
 Functional and timing state advance together: every access really moves
 encrypted bytes through the NVM image while the clock and traffic meters
@@ -23,13 +25,12 @@ advance, so crash tests and performance benches exercise one code path.
 
 from __future__ import annotations
 
-import operator
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.crypto.engine import CryptoEngine
-from repro.errors import InvalidAddressError
+from repro.engine.base import _PLAN_SORT_KEY, AccessEngine, AccessResult  # noqa: F401
+from repro.engine.policy import PersistencePolicy, VolatilePolicy
 from repro.mem.controller import NVMMainMemory
 from repro.mem.request import RequestKind
 from repro.oram.block import DUMMY_ADDRESS, Block, BlockCodec
@@ -42,41 +43,13 @@ from repro.util.rng import DeterministicRNG
 from repro.util.stats import LazyCounter, StatSet
 
 
-#: Sort key for eviction-planner candidates: (resident, depth), ignoring
-#: the entry itself so ties keep stash order (stable sort).
-_PLAN_SORT_KEY = operator.itemgetter(0, 1)
+class PathORAMController(AccessEngine):
+    """Path ORAM driven through the shared access engine.
 
-
-@dataclass
-class AccessResult:
-    """Outcome of one ORAM access.
-
-    ``data`` is the block content *before* the access took effect: for a
-    read that is the value read; for a write (or read-modify-write) it is
-    the previous content, giving callers swap semantics for free.
+    With the default :class:`VolatilePolicy` this is the baseline
+    (non-persistent) controller; ``policy=`` swaps in any persistence
+    strategy without touching the hierarchy.
     """
-
-    address: int
-    is_write: bool
-    data: bytes
-    stash_hit: bool
-    old_path: int
-    new_path: int
-    start_cycle: int
-    finish_cycle: int
-
-    @property
-    def latency_core_cycles(self) -> int:
-        return self.finish_cycle - self.start_cycle
-
-
-class PathORAMController:
-    """The baseline (non-persistent) Path ORAM controller."""
-
-    #: Fixed on-chip pipeline cost per access (stash CAM + PosMap SRAM +
-    #: address logic), in core cycles.  SRAM structures are fast; the
-    #: FullNVM variants replace this with timed NVM accesses.
-    ONCHIP_LOOKUP_CYCLES = 4
 
     def __init__(
         self,
@@ -89,6 +62,7 @@ class PathORAMController:
         request_kind: RequestKind = RequestKind.DATA_PATH,
         rng: Optional[DeterministicRNG] = None,
         name: str = "oram",
+        policy: Optional[PersistencePolicy] = None,
     ):
         config.validate()
         self.config = config
@@ -138,149 +112,51 @@ class PathORAMController:
         self._c_cold_misses = LazyCounter(self.stats, "cold_misses")
         self._c_stale_dropped = LazyCounter(self.stats, "stale_copies_dropped")
         self._c_evicted = LazyCounter(self.stats, "evicted_blocks")
+        self.policy = policy if policy is not None else VolatilePolicy()
+        self.policy.attach(self)
 
     # ------------------------------------------------------------------
-    # public API
+    # engine hooks: counters
     # ------------------------------------------------------------------
 
-    def read(self, address: int, start_cycle: Optional[int] = None) -> AccessResult:
-        """Obliviously read one block."""
-        return self.access(address, is_write=False, data=None, start_cycle=start_cycle)
-
-    def write(self, address: int, data: bytes, start_cycle: Optional[int] = None) -> AccessResult:
-        """Obliviously write one block."""
-        return self.access(address, is_write=True, data=data, start_cycle=start_cycle)
-
-    def read_modify_write(
-        self, address: int, mutator, start_cycle: Optional[int] = None
-    ) -> AccessResult:
-        """One ORAM access that atomically transforms the block payload.
-
-        ``mutator(old_payload) -> new_payload`` runs on-chip after the fetch.
-        The result carries the *old* payload.  Used by the recursive PosMap
-        layer to update one packed entry in a single access.
-        """
-        return self.access(address, is_write=True, mutator=mutator, start_cycle=start_cycle)
-
-    def access(
-        self,
-        address: int,
-        is_write: bool,
-        data: Optional[bytes] = None,
-        start_cycle: Optional[int] = None,
-        mutator=None,
-    ) -> AccessResult:
-        """Perform one full ORAM access (the 5-step protocol)."""
-        self._check_address(address)
-        if mutator is not None:
-            if data is not None:
-                raise ValueError("pass either data or mutator, not both")
-            payload = None
-        else:
-            payload = self._normalize_payload(is_write, data)
-        start = self.now if start_cycle is None else max(self.now, start_cycle)
-        self.now = start + self.ONCHIP_LOOKUP_CYCLES
+    def _count_access(self, is_write: bool) -> None:
         self._c_accesses.add()
         if is_write:
             self._c_writes.add()
         else:
             self._c_reads.add()
 
-        self._round += 1
-
-        # Step 1: check stash.
-        entry = self.stash.find(address)
-        if entry is not None and self._allow_stash_hit_return(entry, is_write or mutator is not None):
-            result_data = self._apply_program_op(entry, is_write, payload, mutator)
-            self._c_stash_hits.add()
-            return AccessResult(
-                address=address,
-                is_write=is_write,
-                data=result_data,
-                stash_hit=True,
-                old_path=entry.block.path_id,
-                new_path=entry.block.path_id,
-                start_cycle=start,
-                finish_cycle=self.now,
-            )
-
-        # Step 2: PosMap lookup + remap (hook; variants differ here).
-        old_path, new_path = self._remap(address)
-
-        # Step 3: load path l (timed).
-        target = self._load_path(address, old_path, new_path)
-
-        # Step 4: update stash (program op + header update; hook for backup).
-        result_data = self._apply_program_op(target, is_write, payload, mutator)
-        self._after_fetch(target, old_path, new_path)
-
-        # Step 5: evict path l (hook; persistence variants differ here).
-        self._evict(old_path)
-
-        return AccessResult(
-            address=address,
-            is_write=is_write,
-            data=result_data,
-            stash_hit=False,
-            old_path=old_path,
-            new_path=new_path,
-            start_cycle=start,
-            finish_cycle=self.now,
-        )
+    def _count_stash_hit(self) -> None:
+        self._c_stash_hits.add()
 
     # ------------------------------------------------------------------
-    # step 2: remap (hook)
+    # step 3: load path (engine fetch/absorb phases)
     # ------------------------------------------------------------------
 
-    def _allow_stash_hit_return(self, entry: StashEntry, mutates: bool) -> bool:
-        """Whether a stash hit may return without touching memory.
-
-        The baseline always short-circuits (paper step 1).  PS-ORAM variants
-        force a full access for *writes* so an acknowledged write is always
-        durable by the time the access returns.
-        """
-        return True
-
-    def _remap(self, address: int) -> Tuple[int, int]:
-        """Look up the current path and assign a fresh one.
-
-        Baseline behaviour: overwrite the volatile PosMap in place — exactly
-        the behaviour Section 3.3 shows to be unrecoverable.
-        """
-        old_path = self._position_of(address)
-        new_path = self.rng.randrange(self.posmap.num_leaves)
-        self.posmap.set(address, new_path)
-        return old_path, new_path
-
-    def _position_of(self, address: int) -> int:
-        """Current path id for an address (variants consult temp PosMap first)."""
-        return self.posmap.get(address)
-
-    # ------------------------------------------------------------------
-    # step 3: load path
-    # ------------------------------------------------------------------
-
-    def _load_path(self, target_address: int, path_id: int, new_path: int) -> StashEntry:
-        """Timed path read; absorbs live blocks into the stash.
-
-        Returns the stash entry for the target (materialized zero-filled on
-        a cold miss, matching plain-memory semantics for never-written
-        addresses).
-        """
+    def _fetch_blocks(self, address: int, old_path: int) -> List[Block]:
+        """Timed read + decrypt of every slot on the access path."""
         mem_start = self.clock.core_to_mem(self.now)
-        blocks, mem_finish = self.tree.read_path(path_id, mem_start)
+        blocks, mem_finish = self.tree.read_path(old_path, mem_start)
         self.now = self.clock.mem_to_core(mem_finish)
         # Decryption pipeline latency (pad generation overlaps the fetch per
         # Osiris, so only the pipeline depth + drain remains).
         self.now += self.engine.batch_latency_cycles(len(blocks))
+        return blocks
 
-        self._absorb_blocks(blocks, target_address, path_id=path_id)
+    def _absorb_fetched(
+        self, fetched: List[Block], address: int, old_path: int, new_path: int
+    ) -> StashEntry:
+        """Absorb live blocks into the stash; materialize the target.
 
-        target = self.stash.find(target_address)
+        A cold miss materializes a zero-filled block, matching plain-memory
+        semantics for never-written addresses.
+        """
+        self._absorb_blocks(fetched, address, path_id=old_path)
+        target = self.stash.find(address)
         if target is None:
             self._c_cold_misses.add()
             block = Block(
-                address=target_address,
+                address=address,
                 path_id=new_path,
                 data=bytes(self.oram_config.block_bytes),
                 version=self._next_version(),
@@ -310,6 +186,7 @@ class PathORAMController:
         ``blocks`` is root-first slot order; with ``path_id`` given, each
         absorbed entry records the NVM line it came from.
         """
+        self.policy.on_absorb(blocks)
         best: Dict[int, Tuple[Block, Optional[int]]] = {}
         self._stale_line_of.clear()
         path_addresses = (
@@ -341,106 +218,16 @@ class PathORAMController:
             )
 
     # ------------------------------------------------------------------
-    # step 4: stash update (hook)
+    # step 5: eviction mechanics shared by every policy
     # ------------------------------------------------------------------
 
-    def _apply_program_op(
-        self,
-        entry: StashEntry,
-        is_write: bool,
-        payload: Optional[bytes],
-        mutator=None,
-    ) -> bytes:
-        """Apply the program's read or write to the stash entry.
+    @property
+    def _plan_height(self) -> int:
+        return self.tree.height
 
-        Returns the data handed back to the program: the (pre-mutation)
-        block content.
-        """
-        old_data = entry.block.data
-        if mutator is not None:
-            payload = self._normalize_payload(True, mutator(old_data))
-            is_write = True
-        if is_write:
-            assert payload is not None
-            entry.block = Block(
-                address=entry.block.address,
-                path_id=entry.block.path_id,
-                data=payload,
-                version=self._next_version(),
-            )
-            entry.dirty = True
-        return old_data
-
-    def _after_fetch(self, target: StashEntry, old_path: int, new_path: int) -> None:
-        """Step-4 hook: update the target's header path id.
-
-        PS-ORAM overrides this to also create the backup (shadow) block.
-        """
-        target.block = Block(
-            address=target.block.address,
-            path_id=new_path,
-            data=target.block.data,
-            version=self._next_version(),
-        )
-
-    # ------------------------------------------------------------------
-    # step 5: evict (hook)
-    # ------------------------------------------------------------------
-
-    def _evict(self, path_id: int) -> None:
-        """Baseline eviction: greedy placement + posted full-path write.
-
-        Eviction writes are *posted*: the controller moves on once the
-        encrypted blocks are handed to the memory controller, and the next
-        access's path read naturally queues behind them on the channels.
-        This matches write-buffered memory controllers and keeps the
-        baseline comparable to PS-ORAM's WPQ-staged eviction.
-        """
-        assignment, placed = self._plan_eviction(path_id)
-        mem_start = self.clock.core_to_mem(self.now)
-        # Encryption of the eviction candidates (pipelined).
-        self.now += self.engine.batch_latency_cycles(sum(len(a) for a in assignment))
-        self.tree.write_path(path_id, assignment, mem_start)
-        self._finish_eviction(placed)
-
-    def _plan_eviction(
-        self, path_id: int
-    ) -> Tuple[List[List[Block]], List[StashEntry]]:
-        """Greedy deepest-first assignment of stash entries onto a path.
-
-        Returns ``(assignment, placed_entries)``; ``assignment[level]`` holds
-        the blocks written into the bucket at that level (dummy padding is
-        applied by the tree writer).
-        """
-        height = self.tree.height
-        z = self.tree.z
-        assignment: List[List[Block]] = [[] for _ in range(height + 1)]
-        placed: List[StashEntry] = []
-        # Blocks fetched from the current path (and backup blocks, whose
-        # label *is* the current path) are placed first: their only durable
-        # copy is being overwritten by this very write-back, so they must
-        # not lose a slot race against long-resident stash blocks (the
-        # Figure-3 hazard).  Within each class, deepest-first.
-        #
-        # The deepest legal level (lowest_common_level, inlined to its
-        # XOR/bit-length form) is computed once per entry and reused for
-        # both the sort key and the placement scan.
-        round_ = self._round
-        decorated = []
-        for entry in self.stash.entries():
-            diff = path_id ^ entry.block.path_id
-            depth = height if diff == 0 else height - diff.bit_length()
-            resident = entry.is_backup or entry.fetch_round == round_
-            decorated.append((resident, depth, entry))
-        decorated.sort(key=_PLAN_SORT_KEY, reverse=True)
-        for _resident, deepest, entry in decorated:
-            for level in range(deepest, -1, -1):
-                bucket = assignment[level]
-                if len(bucket) < z:
-                    bucket.append(entry.block)
-                    placed.append(entry)
-                    break
-        return assignment, placed
+    @property
+    def _plan_z(self) -> int:
+        return self.tree.z
 
     def _finish_eviction(self, placed: List[StashEntry]) -> None:
         """Remove evicted entries from the stash and update stats."""
@@ -448,63 +235,3 @@ class PathORAMController:
             self.stash.remove(entry)
         self._c_evicted.add(len(placed))
         self.stats.histogram("post_evict_stash").record(self.stash.occupancy)
-
-    # ------------------------------------------------------------------
-    # crash semantics (hooks)
-    # ------------------------------------------------------------------
-
-    def crash(self) -> None:
-        """Power loss: every volatile structure is cleared.
-
-        Baseline: the stash and the PosMap updates vanish — this is the
-        unrecoverable situation of paper Section 3.3.
-        """
-        self.stash.clear()
-        self.posmap.clear()
-        self.stats.counter("crashes").add()
-
-    def recover(self) -> bool:
-        """Attempt post-crash recovery.
-
-        The baseline has nothing persistent to recover from; it reports
-        failure (Section 3.3 cases 1-3).
-        """
-        return False
-
-    # ------------------------------------------------------------------
-    # helpers
-    # ------------------------------------------------------------------
-
-    def _check_address(self, address: int) -> None:
-        if not 0 <= address < self.oram_config.num_logical_blocks:
-            raise InvalidAddressError(
-                f"address {address} outside ORAM capacity "
-                f"[0, {self.oram_config.num_logical_blocks})"
-            )
-
-    def _normalize_payload(self, is_write: bool, data: Optional[bytes]) -> Optional[bytes]:
-        if not is_write:
-            if data is not None:
-                raise ValueError("read access must not carry data")
-            return None
-        if data is None:
-            raise ValueError("write access requires data")
-        if len(data) > self.oram_config.block_bytes:
-            raise ValueError(
-                f"payload of {len(data)} bytes exceeds block size "
-                f"{self.oram_config.block_bytes}"
-            )
-        return bytes(data) + bytes(self.oram_config.block_bytes - len(data))
-
-    def _next_version(self) -> int:
-        self._version += 1
-        return self._version
-
-    @property
-    def traffic(self):
-        """The NVM traffic meter (reads/writes by kind)."""
-        return self.memory.traffic
-
-    def supports_crash_consistency(self) -> bool:
-        """Whether acknowledged writes survive a crash (baseline: no)."""
-        return False

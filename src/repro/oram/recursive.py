@@ -137,18 +137,14 @@ class _ChainedPosMapController(PathORAMController):
 
     next_posmap: Optional["PosMapORAM"] = None
 
-    def _remap(self, address: int) -> Tuple[int, int]:
-        old_path = self._position_of(address)
-        new_path = self.rng.randrange(self.posmap.num_leaves)
+    def _remap_update(self, address: int, new_path: int, old_path: int) -> None:
         self.posmap.set(address, new_path)
         if self.next_posmap is not None:
             self.next_posmap.now = self.now
             self.next_posmap.lookup_update(address, new_path)
             self.now = self.next_posmap.now
-        return old_path, new_path
 
-    def crash(self) -> None:
-        super().crash()
+    def _crash_dependents(self) -> None:
         if self.next_posmap is not None:
             self.next_posmap.controller.crash()
 
@@ -171,6 +167,7 @@ class RecursivePathORAM(PathORAMController):
         config: SystemConfig,
         memory: Optional[NVMMainMemory] = None,
         key: bytes = b"repro-psoram-key",
+        **kwargs,
     ):
         if config.oram.recursion_levels < 1:
             config = config.replace(
@@ -184,6 +181,7 @@ class RecursivePathORAM(PathORAMController):
             data_region=layout.data_tree,
             posmap_region=layout.posmap,
             name="data-oram",
+            **kwargs,
         )
         self.layout = layout
         self.posmap_oram = self._build_posmap_chain(config, key)
@@ -274,15 +272,13 @@ class RecursivePathORAM(PathORAMController):
 
     # -- step 2 override ---------------------------------------------------
 
-    def _remap(self, address: int) -> Tuple[int, int]:
+    def _remap_update(self, address: int, new_path: int, old_path: int) -> None:
         """Timed recursive PosMap lookup + update.
 
         The posmap-tree access (or PLB hit) and the architectural update
         happen together; the mini controller's clock is slaved to ours
         around the call.
         """
-        old_path = self._position_of(address)
-        new_path = self.rng.randrange(self.posmap.num_leaves)
         self.posmap.set(address, new_path)
         self.posmap_oram.now = self.now
         stored_old = self._posmap_lookup_update(address, new_path)
@@ -291,7 +287,6 @@ class RecursivePathORAM(PathORAMController):
         # can only diverge after a crash, which recovery reconciles.
         if stored_old != old_path:
             self.stats.counter("posmap_divergence").add()
-        return old_path, new_path
 
     def _posmap_lookup_update(self, address: int, new_path: int) -> int:
         """Read + update one PosMap entry, through the PLB when enabled."""
@@ -319,9 +314,8 @@ class RecursivePathORAM(PathORAMController):
 
     # -- crash semantics -------------------------------------------------------
 
-    def crash(self) -> None:
-        """Both the data ORAM's and the posmap tree's volatile state is lost."""
-        super().crash()
+    def _crash_dependents(self) -> None:
+        """The posmap tree's volatile state is lost along with the data ORAM's."""
         self.posmap_oram.controller.crash()
         if self.plb is not None:
             self.plb.clear()

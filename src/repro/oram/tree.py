@@ -105,7 +105,7 @@ class ORAMTree:
         One timed line read is issued per slot.
         """
         memory = self.memory
-        access = memory.access
+        access = memory.issue
         load_line = memory.load_line
         decode = self.codec.decode
         kind = self.kind
@@ -153,7 +153,7 @@ class ORAMTree:
                 f"assignment has {len(assignment)} levels, expected {self.height + 1}"
             )
         z = self.z
-        access = self.memory.access
+        access = self.memory.issue
         encode = self.codec.encode
         kind = self.kind
         dummy = Block.dummy_template(self.codec.block_bytes)

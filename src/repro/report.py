@@ -215,7 +215,12 @@ def main(argv: Sequence[str] = None) -> int:
                         help="run under cProfile and print the top N "
                              "functions by cumulative time (default N: 25; "
                              "see docs/PERF.md)")
+    parser.add_argument("--list-variants", action="store_true",
+                        help="print the hierarchy x policy x posmap matrix "
+                             "of evaluated systems and exit")
     args = parser.parse_args(argv)
+    if args.list_variants:
+        return _list_variants()
     if args.full and args.quick:
         parser.error("--full and --quick are mutually exclusive")
     if args.jobs < 1:
@@ -230,6 +235,28 @@ def main(argv: Sequence[str] = None) -> int:
     if args.profile is not None:
         return _run_profiled(args)
     return _run_experiments(args)
+
+
+def _list_variants() -> int:
+    """Print every registered variant as a hierarchy x policy x posmap row."""
+    from repro.engine.registry import variant_specs
+
+    specs = variant_specs()
+    widths = (
+        max(len(s.name) for s in specs),
+        max(len(s.hierarchy) for s in specs),
+        max(len(s.policy) for s in specs),
+        max(len(s.posmap) for s in specs),
+    )
+    header = ("variant", "hierarchy", "policy", "posmap")
+    widths = tuple(max(w, len(h)) for w, h in zip(widths, header))
+    row = "{:<%d}  {:<%d}  {:<%d}  {:<%d}  {}" % widths
+    print(row.format(*header, "description"))
+    print(row.format(*("-" * w for w in widths), "-----------"))
+    for spec in specs:
+        print(row.format(spec.name, spec.hierarchy, spec.policy,
+                         spec.posmap, spec.summary))
+    return 0
 
 
 def _run_profiled(args) -> int:

@@ -1,4 +1,4 @@
-"""Ring ORAM controller (baseline, no crash consistency).
+"""Ring ORAM hierarchy: bucket-store mechanics behind the access engine.
 
 Ring ORAM (Ren et al., USENIX Security'15) restructures the tree access:
 
@@ -18,9 +18,12 @@ slots of the buckets they rewrite (the XOR/valid-only bandwidth tricks of
 the original paper are orthogonal to crash consistency and are not
 modelled).
 
-This baseline keeps the stash and PosMap volatile: like the Path ORAM
-baseline it loses data on a crash.  The crash-consistent variant is
-:class:`repro.ring.ps.PSRingController`.
+The hierarchy drives the shared engine pipeline; Ring's extra write points
+(per-access bucket write-back, EvictPath, early reshuffles) dispatch
+through the attached persistence policy, so the default
+:class:`~repro.engine.policy.VolatilePolicy` gives the baseline (volatile
+stash/PosMap, data lost on crash) and
+:class:`repro.engine.ps.RingDirtyEntryPSPolicy` gives PS-Ring.
 """
 
 from __future__ import annotations
@@ -29,10 +32,10 @@ from typing import List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.crypto.engine import CryptoEngine
-from repro.errors import InvalidAddressError
+from repro.engine.base import AccessEngine
+from repro.engine.policy import PersistencePolicy, VolatilePolicy
 from repro.mem.controller import NVMMainMemory
 from repro.oram.block import Block, BlockCodec
-from repro.oram.controller import _PLAN_SORT_KEY, AccessResult
 from repro.oram.posmap import PersistentPosMapImage, PositionMap
 from repro.oram.stash import Stash, StashEntry
 from repro.ring.metadata import DUMMY_SLOT, BucketMetadata
@@ -52,10 +55,10 @@ def reverse_lexicographic_path(counter: int, height: int) -> int:
     return reversed_bits
 
 
-class RingORAMController:
-    """Baseline Ring ORAM on NVM."""
+class RingORAMController(AccessEngine):
+    """Ring ORAM on NVM, driven through the shared access engine."""
 
-    ONCHIP_LOOKUP_CYCLES = 4
+    SUPPORTS_MUTATOR = False
 
     def __init__(
         self,
@@ -63,6 +66,7 @@ class RingORAMController:
         memory: Optional[NVMMainMemory] = None,
         key: bytes = b"repro-psoram-key",
         params: Optional[RingParams] = None,
+        policy: Optional[PersistencePolicy] = None,
     ):
         config.validate()
         self.config = config
@@ -103,84 +107,36 @@ class RingORAMController:
         self._reshuffle_queue: List[int] = []
         self.stats = StatSet("ring")
         self.crash_hook = None
+        self.policy = policy if policy is not None else VolatilePolicy()
+        self.policy.attach(self)
 
     # ------------------------------------------------------------------
-    # public API (mirrors the Path ORAM controllers)
+    # engine hooks: counters
     # ------------------------------------------------------------------
 
-    def read(self, address: int, start_cycle: Optional[int] = None) -> AccessResult:
-        return self.access(address, is_write=False, start_cycle=start_cycle)
-
-    def write(self, address: int, data: bytes, start_cycle: Optional[int] = None) -> AccessResult:
-        return self.access(address, is_write=True, data=data, start_cycle=start_cycle)
-
-    def access(
-        self,
-        address: int,
-        is_write: bool,
-        data: Optional[bytes] = None,
-        start_cycle: Optional[int] = None,
-    ) -> AccessResult:
-        self._check_address(address)
-        payload = self._pad(data) if is_write else None
-        if is_write and data is None:
-            raise ValueError("write access requires data")
-        start = self.now if start_cycle is None else max(self.now, start_cycle)
-        self.now = start + self.ONCHIP_LOOKUP_CYCLES
-        self._round += 1
+    def _count_access(self, is_write: bool) -> None:
         self.stats.counter("accesses").add()
 
-        entry = self.stash.find(address)
-        if entry is not None and self._allow_stash_hit_return(is_write):
-            result_data = self._apply(entry, is_write, payload)
-            self.stats.counter("stash_hits").add()
-            return AccessResult(address, is_write, result_data, True,
-                                entry.block.path_id, entry.block.path_id,
-                                start, self.now)
-
-        old_path, new_path = self._remap(address)
-        target = self._read_path(address, old_path, new_path)
-        result_data = self._apply(target, is_write, payload)
-        self._after_fetch(target, old_path, new_path)
-        # The access write-back happens after the program op so the PS
-        # variant's in-place backup carries the freshly written data.
-        self._write_back_access(target, old_path)
-        for bucket_idx in self._reshuffle_queue:
-            self._reshuffle_bucket(bucket_idx)
-        self._reshuffle_queue = []
-
-        self._access_counter += 1
-        if self._access_counter % self.params.a == 0:
-            self._evict_path()
-
-        return AccessResult(address, is_write, result_data, False,
-                            old_path, new_path, start, self.now)
+    def _count_stash_hit(self) -> None:
+        self.stats.counter("stash_hits").add()
 
     # ------------------------------------------------------------------
-    # protocol pieces (hooks overridden by PS-Ring)
+    # fetch / absorb phases
     # ------------------------------------------------------------------
 
-    def _allow_stash_hit_return(self, mutates: bool) -> bool:
-        return True
+    def _fetch_blocks(self, address: int, old_path: int) -> Optional[Block]:
+        """Ring access: one slot per bucket, via the metadata directory.
 
-    def _remap(self, address: int) -> Tuple[int, int]:
-        old_path = self._position_of(address)
-        new_path = self.rng.randrange(self.posmap.num_leaves)
-        self.posmap.set(address, new_path)
-        return old_path, new_path
-
-    def _position_of(self, address: int) -> int:
-        return self.posmap.get(address)
-
-    def _read_path(self, address: int, path_id: int, new_path: int) -> StashEntry:
-        """Ring access: one slot per bucket, via the metadata directory."""
+        Returns the freshest on-path copy of the target (or None) and
+        stages ``_touched`` / ``_backup_slot`` for the write-back phase.
+        """
         mem_now = self.clock.core_to_mem(self.now)
         finish = mem_now
         found: Optional[Block] = None
         found_at: Optional[Tuple[int, int]] = None
         touched: List[Tuple[int, BucketMetadata, int]] = []
         self._reshuffle_queue = []
-        for bucket_idx in self.store.path_buckets(path_id):
+        for bucket_idx in self.store.path_buckets(old_path):
             metadata, done = self.store.read_metadata_timed(bucket_idx, mem_now)
             finish = max(finish, done)
             slot = metadata.slot_of(address)
@@ -209,16 +165,20 @@ class RingORAMController:
         self.now = self.clock.mem_to_core(finish)
         self.now += self.engine.batch_latency_cycles(len(touched))
 
-        # State for the post-program-op write-back (see access()).
+        # State for the post-program-op write-back phase.
         self._touched = touched
         self._backup_slot = found_at if found_at is not None else (
             (touched[-1][0], touched[-1][2]) if touched else None
         )
+        return found
 
+    def _absorb_fetched(
+        self, fetched: Optional[Block], address: int, old_path: int, new_path: int
+    ) -> StashEntry:
         target = self.stash.find(address)
         if target is None:
-            if found is not None:
-                target = StashEntry(found, fetch_round=self._round)
+            if fetched is not None:
+                target = StashEntry(fetched, fetch_round=self._round)
                 self.stash.add(target)
             else:
                 self.stats.counter("cold_misses").add()
@@ -229,20 +189,29 @@ class RingORAMController:
                 self.stash.add(target)
         return target
 
-    def _write_back_access(self, target: StashEntry, old_path: int) -> None:
-        """Baseline: persist only the metadata updates (consumed bits)."""
+    # ------------------------------------------------------------------
+    # write-back phase: access write-back, reshuffles, EvictPath cadence
+    # ------------------------------------------------------------------
+
+    def _writeback_phase(self, target: StashEntry, old_path: int) -> None:
+        self._checkpoint("phase:write-back")
+        # The access write-back happens after the program op so the PS
+        # policy's in-place backup carries the freshly written data.
+        self.policy.write_back_access(target, old_path)
+        for bucket_idx in self._reshuffle_queue:
+            self._reshuffle_bucket(bucket_idx)
+        self._reshuffle_queue = []
+
+        self._access_counter += 1
+        if self._access_counter % self.params.a == 0:
+            self._evict_path()
+
+    def _write_back_metadata(self) -> None:
+        """Baseline access write-back: persist only the consumed bits."""
         mem_now = self.clock.core_to_mem(self.now)
         for bucket_idx, metadata, _slot in self._touched:
             self.store.write_metadata_timed(bucket_idx, metadata, mem_now)
         self._touched = []
-
-    def _after_fetch(self, target: StashEntry, old_path: int, new_path: int) -> None:
-        target.block = Block(
-            address=target.block.address,
-            path_id=new_path,
-            data=target.block.data,
-            version=self._next_version(),
-        )
 
     # ------------------------------------------------------------------
     # EvictPath and reshuffle
@@ -250,6 +219,7 @@ class RingORAMController:
 
     def _evict_path(self) -> None:
         """Read a reverse-lexicographic path fully, repack, rewrite."""
+        self.policy.begin_evict_path()
         path_id = reverse_lexicographic_path(self._evict_counter, self.store.height)
         self._evict_counter += 1
         self.stats.counter("evict_paths").add()
@@ -269,7 +239,7 @@ class RingORAMController:
         self.now += self.engine.batch_latency_cycles(
             (self.store.height + 1) * self.params.slots_per_bucket
         )
-        self._write_path(path_id, assignment, placed)
+        self.policy.evict_write_path(path_id, assignment, placed)
         for entry in placed:
             self.stash.remove(entry)
         self.stats.histogram("post_evict_stash").record(self.stash.occupancy)
@@ -280,42 +250,20 @@ class RingORAMController:
             return
         live = self.stash.find(block.address)
         if live is not None:
-            self._absorb_shadowed(block)
+            self.policy.absorb_shadowed(block)
             return
         if block.path_id != self._position_of(block.address):
             self.stats.counter("stale_copies_dropped").add()
             return
         self.stash.add(StashEntry(block, fetch_round=self._round))
 
-    def _absorb_shadowed(self, block: Block) -> None:
-        """Hook: a tree copy shadowed by a live stash entry (PS keeps it)."""
-        self.stats.counter("stale_copies_dropped").add()
+    @property
+    def _plan_height(self) -> int:
+        return self.store.height
 
-    def _plan_eviction(self, path_id: int):
-        """Greedy deepest-first packing, Z real blocks per bucket."""
-        height = self.store.height
-        z = self.params.z
-        assignment: List[List[Block]] = [[] for _ in range(height + 1)]
-        placed: List[StashEntry] = []
-        # As in the Path ORAM planner: the deepest legal level is computed
-        # once per entry (XOR/bit-length form of lowest_common_level) and
-        # shared between the sort key and the placement scan.
-        round_ = self._round
-        decorated = []
-        for entry in self.stash.entries():
-            diff = path_id ^ entry.block.path_id
-            depth = height if diff == 0 else height - diff.bit_length()
-            resident = entry.is_backup or entry.fetch_round == round_
-            decorated.append((resident, depth, entry))
-        decorated.sort(key=_PLAN_SORT_KEY, reverse=True)
-        for _resident, deepest, entry in decorated:
-            for level in range(deepest, -1, -1):
-                bucket = assignment[level]
-                if len(bucket) < z:
-                    bucket.append(entry.block)
-                    placed.append(entry)
-                    break
-        return assignment, placed
+    @property
+    def _plan_z(self) -> int:
+        return self.params.z
 
     def _permuted_bucket(self, blocks: List[Block]) -> Tuple[List[Block], BucketMetadata]:
         """Assemble one bucket: blocks + dummies, randomly permuted."""
@@ -334,8 +282,8 @@ class RingORAMController:
         metadata = BucketMetadata(addresses, [False] * slots, 0)
         return out_blocks, metadata
 
-    def _write_path(self, path_id: int, assignment, placed) -> None:
-        """Baseline: direct timed rewrite of every slot + metadata."""
+    def _write_path_direct(self, path_id: int, assignment) -> None:
+        """Baseline EvictPath: direct timed rewrite of every slot + metadata."""
         mem_now = self.clock.core_to_mem(self.now)
         for level, bucket_idx in enumerate(self.store.path_buckets(path_id)):
             blocks, metadata = self._permuted_bucket(assignment[level])
@@ -355,7 +303,7 @@ class RingORAMController:
             if block.is_dummy:
                 continue
             if self.stash.find(block.address) is not None:
-                keep.extend(self._reshuffle_shadowed(block))
+                keep.extend(self.policy.reshuffle_shadowed(block))
                 continue
             if block.path_id != self._position_of(block.address):
                 continue
@@ -363,63 +311,10 @@ class RingORAMController:
         self.now = self.clock.mem_to_core(finish)
         keep = keep[: self.params.z]  # bucket real capacity
         blocks, metadata = self._permuted_bucket(keep)
-        self._write_bucket(bucket_idx, blocks, metadata)
+        self.policy.write_bucket(bucket_idx, blocks, metadata)
 
-    def _reshuffle_shadowed(self, block: Block) -> List[Block]:
-        """Hook: shadowed copy during reshuffle (PS preserves pending ones)."""
-        return []
-
-    def _write_bucket(self, bucket_idx: int, blocks, metadata) -> None:
+    def _write_bucket_direct(self, bucket_idx: int, blocks, metadata) -> None:
         mem_now = self.clock.core_to_mem(self.now)
         for slot, block in enumerate(blocks):
             self.store.write_slot_timed(bucket_idx, slot, block, mem_now)
         self.store.write_metadata_timed(bucket_idx, metadata, mem_now)
-
-    # ------------------------------------------------------------------
-    # shared helpers / crash
-    # ------------------------------------------------------------------
-
-    def _apply(self, entry: StashEntry, is_write: bool, payload: Optional[bytes]) -> bytes:
-        old = entry.block.data
-        if is_write:
-            entry.block = Block(
-                address=entry.block.address,
-                path_id=entry.block.path_id,
-                data=payload,
-                version=self._next_version(),
-            )
-            entry.dirty = True
-        return old
-
-    def _pad(self, data: Optional[bytes]) -> bytes:
-        data = bytes(data or b"")
-        if len(data) > self.oram_config.block_bytes:
-            raise ValueError("payload exceeds block size")
-        return data + bytes(self.oram_config.block_bytes - len(data))
-
-    def _check_address(self, address: int) -> None:
-        if not 0 <= address < self.oram_config.num_logical_blocks:
-            raise InvalidAddressError(f"address {address} out of range")
-
-    def _next_version(self) -> int:
-        self._version += 1
-        return self._version
-
-    def _checkpoint(self, label: str) -> None:
-        if self.crash_hook is not None:
-            self.crash_hook(label)
-
-    @property
-    def traffic(self):
-        return self.memory.traffic
-
-    def crash(self) -> None:
-        self.stash.clear()
-        self.posmap.clear()
-        self.stats.counter("crashes").add()
-
-    def recover(self) -> bool:
-        return False
-
-    def supports_crash_consistency(self) -> bool:
-        return False

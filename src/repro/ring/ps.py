@@ -24,35 +24,21 @@ re-validated with fresh ciphertext is indistinguishable from a reshuffled
 one when read again later.  Ring's no-slot-reuse rule is preserved because
 re-validation *is* a rewrite.
 
-Crash checkpoints fired (for the injector): ``ring:after-remap``,
-``ring:wb-round-open``, ``ring:wb-before-end``, ``ring:wb-after-end``,
-``ring:evict-round-open``, ``ring:evict-before-end``,
-``ring:evict-after-end``.
+The protocol bodies live in
+:class:`repro.engine.ps.RingDirtyEntryPSPolicy`; this module assembles it
+with the Ring hierarchy under the historical class name.  Crash
+checkpoints fired (for the injector) are listed in ``RING_CRASH_POINTS``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.config import SystemConfig
-from repro.core.drainer import Drainer
-from repro.core.temp_posmap import TempPosMap
+from repro.engine.ps import RING_CRASH_POINTS, RingDirtyEntryPSPolicy  # noqa: F401
 from repro.mem.controller import NVMMainMemory
-from repro.oram.block import Block
-from repro.oram.stash import StashEntry
 from repro.ring.controller import RingORAMController
-from repro.ring.metadata import BucketMetadata
 from repro.ring.tree import RingParams
-
-RING_CRASH_POINTS = (
-    "ring:after-remap",
-    "ring:wb-round-open",
-    "ring:wb-before-end",
-    "ring:wb-after-end",
-    "ring:evict-round-open",
-    "ring:evict-before-end",
-    "ring:evict-after-end",
-)
 
 
 class PSRingController(RingORAMController):
@@ -64,250 +50,7 @@ class PSRingController(RingORAMController):
         memory: Optional[NVMMainMemory] = None,
         key: bytes = b"repro-psoram-key",
         params: Optional[RingParams] = None,
+        **kwargs,
     ):
-        super().__init__(config, memory=memory, key=key, params=params)
-        self.temp_posmap = TempPosMap(config.oram.temp_posmap_capacity)
-        region = self.persistent_posmap.region
-        self._version_line = region.base + region.size_bytes
-        # An EvictPath round stages (Z+S) slots + 1 metadata line per level;
-        # the WPQ must hold one full path (the paper's sizing rule applied
-        # to Ring's bigger path).
-        needed = (self.params.slots_per_bucket + 1) * (self.store.height + 1)
-        self.drainer = Drainer(
-            self.memory,
-            data_capacity=max(config.wpq.data_entries, needed),
-            posmap_capacity=max(config.wpq.posmap_entries, 8),
-            apply_posmap_entry=self._commit_posmap_entry,
-            version_line=self._version_line,
-            version_provider=lambda: self._version,
-        )
-        self._backup_info: Optional[Tuple[int, int, bytes, int]] = None
-        self._evict_preserved: set = set()
-        self._graduate: Optional[Tuple[int, int]] = None
-
-    # ------------------------------------------------------------------
-    # remap through the temporary PosMap
-    # ------------------------------------------------------------------
-
-    def _allow_stash_hit_return(self, mutates: bool) -> bool:
-        return not mutates
-
-    def _position_of(self, address: int) -> int:
-        pending = self.temp_posmap.get(address)
-        if pending is not None:
-            return pending
-        return self.posmap.get(address)
-
-    def _remap(self, address: int) -> Tuple[int, int]:
-        if self.temp_posmap.is_full:
-            self._relieve_temp_posmap()
-        pending = self.temp_posmap.get(address)
-        if pending is not None:
-            # Stash-hit write: read the fresh pending label (re-reading the
-            # persistent one would repeat an observed path) and graduate it
-            # to persistent in the write-back round that puts the backup on
-            # it — same move as the Path controller's label graduation.
-            old_path = pending
-            self._graduate = (address, pending)
-            self.stats.counter("labels_graduated").add()
-        else:
-            old_path = self.posmap.get(address)  # where recovery will look
-            self._graduate = None
-        new_path = self.rng.randrange(self.posmap.num_leaves)
-        self.temp_posmap.set(address, new_path)
-        self._checkpoint("ring:after-remap")
-        return old_path, new_path
-
-    def _relieve_temp_posmap(self) -> None:
-        """Drain pressure by forcing EvictPath rounds."""
-        for _ in range(4 * self.params.a):
-            if not self.temp_posmap.is_full:
-                return
-            self._evict_path()
-        if self.temp_posmap.is_full:  # pragma: no cover - pathological
-            from repro.errors import RecoveryError
-
-            raise RecoveryError("temporary PosMap pressure not relieved")
-
-    def _commit_posmap_entry(self, address: int, path_id: int) -> int:
-        line = self.persistent_posmap.write_entry(address, path_id)
-        self.posmap.set(address, path_id)
-        return line
-
-    # ------------------------------------------------------------------
-    # in-place backup: the atomic access write-back
-    # ------------------------------------------------------------------
-
-    def _after_fetch(self, target: StashEntry, old_path: int, new_path: int) -> None:
-        # Capture the backup content *before* the label/version bump so the
-        # live copy always wins version comparison.
-        self._backup_info = (
-            target.block.address,
-            old_path,
-            target.block.data,
-            target.block.version,
-        )
-        super()._after_fetch(target, old_path, new_path)
-
-    def _write_back_access(self, target: StashEntry, old_path: int) -> None:
-        """One atomic WPQ round: every read slot re-written + metadata.
-
-        The backup slot receives the target's fresh data under the old
-        label; all other read slots become re-encrypted consumed dummies.
-        """
-        touched = self._touched
-        self._touched = []
-        if not touched:
-            return
-        backup = self._backup_info
-        self._backup_info = None
-
-        self.drainer.start()
-        self._checkpoint("ring:wb-round-open")
-        for bucket_idx, metadata, slot in touched:
-            if backup is not None and self._backup_slot == (bucket_idx, slot):
-                address, label, _old_data, version = backup
-                block = Block(address=address, path_id=label,
-                              data=target.block.data, version=version)
-                metadata.addresses[slot] = address
-                metadata.consumed[slot] = False
-                self.stats.counter("inplace_backups").add()
-            else:
-                block = Block.dummy(self.codec.block_bytes)
-            self.drainer.push_block(
-                self.store.slot_address(bucket_idx, slot),
-                self.codec.encode(block),
-            )
-            self.drainer.push_block(
-                self.store.layout.metadata_address(bucket_idx),
-                self._encode_metadata(metadata),
-            )
-        if self._graduate is not None:
-            # The pending label becomes persistent atomically with the
-            # backup now sitting on it.
-            address, path = self._graduate
-            self._graduate = None
-            self.drainer.push_posmap_entry(
-                self.persistent_posmap.region.entry_address(address),
-                address, path,
-            )
-        self._checkpoint("ring:wb-before-end")
-        self.drainer.end()
-        self._checkpoint("ring:wb-after-end")
-        self.drainer.flush(self.clock.core_to_mem(self.now))
-
-    def _encode_metadata(self, metadata: BucketMetadata) -> bytes:
-        self.store._meta_iv += 1
-        return metadata.encode(self.engine, self.store._meta_iv)
-
-    # ------------------------------------------------------------------
-    # EvictPath and reshuffle through atomic rounds
-    # ------------------------------------------------------------------
-
-    def _absorb_shadowed(self, block: Block) -> None:
-        """Preserve the durable copy of a stash-resident pending block.
-
-        If this tree copy is where the *persistent* PosMap points and the
-        live block's remap is still pending, it is the block's only durable
-        copy: re-add it as a backup stash entry so the eviction planner
-        (which prioritizes backups) writes it back out.
-        """
-        pending = self.temp_posmap.get(block.address)
-        if pending is None:
-            self.stats.counter("stale_copies_dropped").add()
-            return
-        if block.path_id != self.posmap.get(block.address):
-            self.stats.counter("stale_copies_dropped").add()
-            return
-        if block.address in self._evict_preserved:
-            return
-        self._evict_preserved.add(block.address)
-        self.stash.add(StashEntry(block, dirty=True, is_backup=True,
-                                  fetch_round=self._round))
-        self.stats.counter("evict_backups_preserved").add()
-
-    def _reshuffle_shadowed(self, block: Block) -> List[Block]:
-        pending = self.temp_posmap.get(block.address)
-        if pending is not None and block.path_id == self.posmap.get(block.address):
-            return [block]  # keep the durable copy in the bucket
-        return []
-
-    def _evict_path(self) -> None:
-        self._evict_preserved = set()
-        super()._evict_path()
-
-    def _write_path(self, path_id: int, assignment, placed) -> None:
-        """EvictPath: slots + metadata + dirty entries in one atomic round."""
-        dirty = []
-        for entry in placed:
-            if entry.is_backup:
-                continue
-            pending = self.temp_posmap.get(entry.block.address)
-            if pending is not None and pending == entry.block.path_id:
-                dirty.append((entry.block.address, pending))
-
-        self.drainer.start()
-        self._checkpoint("ring:evict-round-open")
-        for level, bucket_idx in enumerate(self.store.path_buckets(path_id)):
-            blocks, metadata = self._permuted_bucket(assignment[level])
-            for slot, block in enumerate(blocks):
-                self.drainer.push_block(
-                    self.store.slot_address(bucket_idx, slot),
-                    self.codec.encode(block),
-                )
-            self.drainer.push_block(
-                self.store.layout.metadata_address(bucket_idx),
-                self._encode_metadata(metadata),
-            )
-        for address, pending in dirty:
-            self.drainer.push_posmap_entry(
-                self.persistent_posmap.region.entry_address(address),
-                address, pending,
-            )
-        self._checkpoint("ring:evict-before-end")
-        self.drainer.end()
-        self._checkpoint("ring:evict-after-end")
-        self.drainer.flush(self.clock.core_to_mem(self.now))
-        for address, pending in dirty:
-            if self.temp_posmap.get(address) == pending:
-                self.temp_posmap.pop(address)
-        self.stats.counter("posmap_entries_persisted").add(len(dirty))
-
-    def _write_bucket(self, bucket_idx: int, blocks, metadata) -> None:
-        """Early reshuffle commits atomically too."""
-        self.drainer.start()
-        for slot, block in enumerate(blocks):
-            self.drainer.push_block(
-                self.store.slot_address(bucket_idx, slot),
-                self.codec.encode(block),
-            )
-        self.drainer.push_block(
-            self.store.layout.metadata_address(bucket_idx),
-            self._encode_metadata(metadata),
-        )
-        self.drainer.end()
-        self.drainer.flush(self.clock.core_to_mem(self.now))
-
-    # ------------------------------------------------------------------
-    # crash / recovery
-    # ------------------------------------------------------------------
-
-    def crash(self) -> None:
-        self.drainer.crash_flush()
-        self.temp_posmap.clear()
-        self.stash.clear()
-        self.posmap.clear()
-        self.stats.counter("crashes").add()
-
-    def recover(self) -> bool:
-        self.posmap.clear()
-        for address, path_id in self.persistent_posmap.iter_written_entries():
-            self.posmap.set(address, path_id)
-        line = self.memory.load_line(self._version_line)
-        if line is not None:
-            self._version = max(self._version, int.from_bytes(line[:8], "little"))
-        self.stats.counter("recoveries").add()
-        return True
-
-    def supports_crash_consistency(self) -> bool:
-        return True
+        kwargs.setdefault("policy", RingDirtyEntryPSPolicy())
+        super().__init__(config, memory=memory, key=key, params=params, **kwargs)

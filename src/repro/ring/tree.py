@@ -106,7 +106,7 @@ class RingBucketStore:
 
     def read_metadata_timed(self, bucket_idx: int, mem_cycle: int) -> Tuple[BucketMetadata, int]:
         address = self.layout.metadata_address(bucket_idx)
-        request = self.memory.access(address, Access.READ, mem_cycle, RequestKind.DATA_PATH)
+        request = self.memory.issue(address, Access.READ, mem_cycle, RequestKind.DATA_PATH)
         complete = request.complete_cycle
         return self.load_metadata(bucket_idx), (
             complete if complete is not None else mem_cycle
@@ -115,7 +115,7 @@ class RingBucketStore:
     def write_metadata_timed(self, bucket_idx: int, metadata: BucketMetadata,
                              mem_cycle: int) -> int:
         address = self.store_metadata(bucket_idx, metadata)
-        request = self.memory.access(address, Access.WRITE, mem_cycle, RequestKind.DATA_PATH)
+        request = self.memory.issue(address, Access.WRITE, mem_cycle, RequestKind.DATA_PATH)
         complete = request.complete_cycle
         return complete if complete is not None else mem_cycle
 
@@ -137,7 +137,7 @@ class RingBucketStore:
 
     def read_slot_timed(self, bucket_idx: int, slot: int, mem_cycle: int) -> Tuple[Block, int]:
         address = self.slot_address(bucket_idx, slot)
-        request = self.memory.access(address, Access.READ, mem_cycle, RequestKind.DATA_PATH)
+        request = self.memory.issue(address, Access.READ, mem_cycle, RequestKind.DATA_PATH)
         complete = request.complete_cycle
         return self.load_slot(bucket_idx, slot), (
             complete if complete is not None else mem_cycle
@@ -146,7 +146,7 @@ class RingBucketStore:
     def write_slot_timed(self, bucket_idx: int, slot: int, block: Block,
                          mem_cycle: int) -> int:
         address = self.store_slot(bucket_idx, slot, block)
-        request = self.memory.access(address, Access.WRITE, mem_cycle, RequestKind.DATA_PATH)
+        request = self.memory.issue(address, Access.WRITE, mem_cycle, RequestKind.DATA_PATH)
         complete = request.complete_cycle
         return complete if complete is not None else mem_cycle
 

@@ -31,8 +31,8 @@ class BusObserver:
     def __init__(self, memory: NVMMainMemory):
         self.memory = memory
         self.events: List[ObservedAccess] = []
-        self._original_access = memory.access
-        memory.access = self._tap  # type: ignore[assignment]
+        self._original_access = memory.issue
+        memory.issue = self._tap  # type: ignore[assignment]
 
     def _tap(
         self,
@@ -49,7 +49,7 @@ class BusObserver:
 
     def detach(self) -> None:
         """Stop observing (restores the original access method)."""
-        self.memory.access = self._original_access  # type: ignore[assignment]
+        self.memory.issue = self._original_access  # type: ignore[assignment]
 
     def addresses(self) -> List[int]:
         return [event.address for event in self.events]

@@ -39,7 +39,7 @@ class _OffsetMemory:
     def line_bytes(self) -> int:
         return self.shared.line_bytes
 
-    def access(
+    def issue(
         self,
         address: int,
         access: Access,
@@ -51,7 +51,7 @@ class _OffsetMemory:
             self.own_traffic.counter("reads").add()
         else:
             self.own_traffic.counter("writes").add()
-        return self.shared.access(
+        return self.shared.issue(
             address + self.offset, access, arrival_cycle, kind, data
         )
 

@@ -48,7 +48,7 @@ class SimulatedSystem:
     def step(self, op) -> None:
         """Replay one trace record."""
         self.core.execute_instructions(op.gap)
-        llc_miss, memory_ops = self.caches.access(op.address, op.is_write)
+        llc_miss, memory_ops = self.caches.reference(op.address, op.is_write)
         self.core.memory_reference(self.caches.latency_cycles(llc_miss))
         for address, is_writeback in memory_ops:
             block = self._fold(address)

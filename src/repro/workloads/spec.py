@@ -94,7 +94,7 @@ def measure_llc_misses(trace: Trace) -> int:
     hierarchy = CacheHierarchy(L1D_CONFIG, L2_CONFIG)
     misses = 0
     for op in trace:
-        llc_miss, _ = hierarchy.access(op.address, op.is_write)
+        llc_miss, _ = hierarchy.reference(op.address, op.is_write)
         if llc_miss:
             misses += 1
     return misses

@@ -14,66 +14,66 @@ def _tiny_cache(ways=2, sets=4):
 class TestSetAssociativeCache:
     def test_miss_then_hit(self):
         cache = _tiny_cache()
-        hit, _ = cache.access(0, False)
+        hit, _ = cache.reference(0, False)
         assert not hit
-        hit, _ = cache.access(0, False)
+        hit, _ = cache.reference(0, False)
         assert hit
 
     def test_same_set_different_tags_conflict(self):
         cache = _tiny_cache(ways=2, sets=4)
         stride = 4 * 64  # same set, different tag
-        cache.access(0 * stride, False)
-        cache.access(1 * stride, False)
-        cache.access(2 * stride, False)  # evicts LRU (tag 0)
-        hit, _ = cache.access(0, False)
+        cache.reference(0 * stride, False)
+        cache.reference(1 * stride, False)
+        cache.reference(2 * stride, False)  # evicts LRU (tag 0)
+        hit, _ = cache.reference(0, False)
         assert not hit
 
     def test_lru_replacement(self):
         cache = _tiny_cache(ways=2, sets=1)
-        cache.access(0, False)
-        cache.access(64, False)
-        cache.access(0, False)  # refresh tag 0
-        cache.access(128, False)  # evicts tag 1 (LRU)
+        cache.reference(0, False)
+        cache.reference(64, False)
+        cache.reference(0, False)  # refresh tag 0
+        cache.reference(128, False)  # evicts tag 1 (LRU)
         assert cache.lookup(0)
         assert not cache.lookup(64)
 
     def test_dirty_eviction_returns_writeback(self):
         cache = _tiny_cache(ways=1, sets=1)
-        cache.access(0, True)  # dirty
-        hit, wb = cache.access(64, False)
+        cache.reference(0, True)  # dirty
+        hit, wb = cache.reference(64, False)
         assert not hit
         assert wb == 0
 
     def test_clean_eviction_no_writeback(self):
         cache = _tiny_cache(ways=1, sets=1)
-        cache.access(0, False)
-        _, wb = cache.access(64, False)
+        cache.reference(0, False)
+        _, wb = cache.reference(64, False)
         assert wb is None
 
     def test_invalidate_all(self):
         cache = _tiny_cache()
-        cache.access(0, True)
+        cache.reference(0, True)
         cache.invalidate_all()
         assert not cache.lookup(0)
 
     def test_miss_rate(self):
         cache = _tiny_cache()
-        cache.access(0, False)
-        cache.access(0, False)
+        cache.reference(0, False)
+        cache.reference(0, False)
         assert cache.miss_rate() == 0.5
 
 
 class TestHierarchy:
     def test_l1_hit_produces_no_memory_traffic(self):
         h = CacheHierarchy(L1D_CONFIG, L2_CONFIG)
-        h.access(0, False)
-        miss, ops = h.access(0, False)
+        h.reference(0, False)
+        miss, ops = h.reference(0, False)
         assert not miss
         assert ops == []
 
     def test_cold_miss_produces_demand_fill(self):
         h = CacheHierarchy(L1D_CONFIG, L2_CONFIG)
-        miss, ops = h.access(0, False)
+        miss, ops = h.reference(0, False)
         assert miss
         assert ops == [(0, False)]
 
@@ -81,24 +81,24 @@ class TestHierarchy:
         h = CacheHierarchy(L1D_CONFIG, L2_CONFIG)
         lines = 2 * L2_CONFIG.num_lines
         for i in range(lines):
-            h.access(i * 64, False)
+            h.reference(i * 64, False)
         # Sweep twice the L2: second pass still misses (capacity).
         misses_before = h.l2.misses
         for i in range(lines):
-            h.access(i * 64, False)
+            h.reference(i * 64, False)
         assert h.l2.misses > misses_before
 
     def test_dirty_l2_eviction_reaches_memory(self):
         h = CacheHierarchy(L1D_CONFIG, L2_CONFIG)
         writebacks = []
         for i in range(3 * L2_CONFIG.num_lines):
-            _, ops = h.access(i * 64, True)
+            _, ops = h.reference(i * 64, True)
             writebacks.extend(addr for addr, is_wb in ops if is_wb)
         assert writebacks, "sweeping dirty lines must evict dirty victims"
 
     def test_mpki(self):
         h = CacheHierarchy(L1D_CONFIG, L2_CONFIG)
-        h.access(0, False)
+        h.reference(0, False)
         assert h.mpki(1000) == 1.0
         assert h.mpki(0) == 0.0
 

@@ -13,6 +13,7 @@ from repro.config import WPQConfig, small_config
 from repro.core.variants import build_variant
 from repro.crashsim.checker import ConsistencyChecker
 from repro.crashsim.injector import CRASH_POINTS, CrashInjector
+from repro.engine.base import PIPELINE_PHASES
 from repro.errors import SimulatedCrash
 from repro.util.rng import DeterministicRNG
 
@@ -88,6 +89,36 @@ class TestCrashMatrix:
             assert controller.recover()
             report = checker.verify()
             assert report.consistent, (point, report.violations)
+
+
+class TestPipelinePhaseCrashMatrix:
+    """Crashes at every named engine phase boundary (satellite of the
+    pipeline refactor): the phase labels are variant-independent, so the
+    same matrix runs on any hierarchy — exercised here on PS-Ring, whose
+    write-back shape diverges most from the Path pipeline."""
+
+    @pytest.mark.parametrize("point", PIPELINE_PHASES)
+    def test_ring_ps_consistent_at_phase(self, point):
+        controller, checker = _populated("ring-ps")
+        injector = CrashInjector(controller)
+        injector.arm(point)
+
+        victim, payload = 7, b"mid-flight"
+        try:
+            checker.write(victim, payload)
+        except SimulatedCrash:
+            checker.note_interrupted_write(victim, payload)
+        injector.disarm()
+        controller.crash()
+        assert controller.recover()
+        report = checker.verify()
+        assert report.consistent, report.violations
+
+    @pytest.mark.parametrize("variant", PS_VARIANTS + ["ring-ps"])
+    def test_crash_points_cover_every_phase(self, variant):
+        controller = build_variant(variant, small_config(height=6))
+        points = controller.crash_points()
+        assert set(PIPELINE_PHASES).issubset(set(points))
 
 
 class TestInjectorMechanics:

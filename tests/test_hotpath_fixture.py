@@ -19,8 +19,10 @@ import pytest
 
 from repro.config import small_config
 from repro.core.controller import PSORAMController
+from repro.core.eadr import EADRORAMController
 from repro.core.naive import NaivePSORAMController
 from repro.core.recursive_ps import RcrPSORAMController
+from repro.hybrid.controller import HybridPSORAMController
 from repro.oram.controller import PathORAMController
 from repro.ring.controller import RingORAMController
 from repro.ring.ps import PSRingController
@@ -59,6 +61,19 @@ EXPECTED = {
         "3b3330c7dde401231689b6bf205175354e79fbd0988aab57857cf01cffa0ec2a",
         2196326,
     ),
+    # ps-hybrid and eadr-oram goldens captured at acba882 (pre-engine
+    # refactor) with the same drive; eadr-oram includes a mid-drive
+    # crash+recover (CRASH_AT) so the digest pins the drain/restore path.
+    "ps-hybrid": (
+        "8946069c78052e801e5c9a21def0bd0f20aa8e6365361be912a2ae303eb815ee",
+        "007151859bdcf3d8863d73879513b1daee083821d4af87af4a713e6db51d5144",
+        1163990,
+    ),
+    "eadr-oram": (
+        "71dbd6842cb921adf65700ba2e44b5946f27a34f19c28a966e5b8454506064ec",
+        "e4d3f07e4c03a10e632eb19abf02cf8fd1734c8ba0d6ab13a1ffceaa9b88f0ae",
+        1329559,
+    ),
 }
 
 CONTROLLERS = {
@@ -70,12 +85,23 @@ CONTROLLERS = {
     "rcr-ps": (RcrPSORAMController, 120, 100),
     "ring": (RingORAMController, 300, 200),
     "ring-ps": (PSRingController, 300, 200),
+    "ps-hybrid": (HybridPSORAMController, 300, 200),
+    "eadr-oram": (EADRORAMController, 300, 200),
+}
+
+#: Mid-drive crash+recover points, exercised so the digest also pins the
+#: crash/recovery code path of variants whose whole point is the crash.
+CRASH_AT = {
+    "eadr-oram": 150,
 }
 
 
-def drive(controller, n, space, seed=1234):
+def drive(controller, n, space, seed=1234, crash_at=None):
     rng = DeterministicRNG(seed)
     for i in range(n):
+        if crash_at is not None and i == crash_at:
+            controller.crash()
+            controller.recover()
         addr = rng.randrange(space)
         if rng.randrange(2):
             controller.write(addr, addr.to_bytes(4, "little") + bytes([i % 256]))
@@ -104,7 +130,7 @@ def stats_digest(controller):
 def test_seeded_run_is_bit_identical(variant):
     cls, n, space = CONTROLLERS[variant]
     controller = cls(small_config(height=6))
-    drive(controller, n, space)
+    drive(controller, n, space, crash_at=CRASH_AT.get(variant))
     expected_image, expected_stats, expected_now = EXPECTED[variant]
     assert image_digest(controller.memory) == expected_image
     assert stats_digest(controller) == expected_stats

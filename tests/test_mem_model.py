@@ -75,8 +75,8 @@ class TestNVMMainMemory:
 
     def test_timed_access_updates_traffic_and_energy(self):
         memory = NVMMainMemory(PCM_TIMING)
-        memory.access(0, Access.READ, 0)
-        memory.access(64, Access.WRITE, 0, data=b"x")
+        memory.issue(0, Access.READ, 0)
+        memory.issue(64, Access.WRITE, 0, data=b"x")
         assert memory.traffic.total_reads == 1
         assert memory.traffic.total_writes == 1
         assert memory.energy_pj > 0
@@ -85,14 +85,14 @@ class TestNVMMainMemory:
     def test_channel_interleaving_balances(self):
         memory = NVMMainMemory(PCM_TIMING, channels=4)
         for line in range(32):
-            memory.access(line * 64, Access.READ, 0)
+            memory.issue(line * 64, Access.READ, 0)
         counts = [c.serviced for c in memory.channels]
         assert counts == [8, 8, 8, 8]
 
     def test_bank_striping_uses_all_banks_per_channel(self):
         memory = NVMMainMemory(PCM_TIMING, channels=2, banks_per_channel=4)
         for line in range(16):
-            memory.access(line * 64, Access.READ, 0)
+            memory.issue(line * 64, Access.READ, 0)
         for channel in memory.channels:
             assert all(bank.serviced == 2 for bank in channel.banks)
 
@@ -124,7 +124,7 @@ class TestNVMMainMemory:
 
     def test_reset_timing_preserves_image(self):
         memory = NVMMainMemory(PCM_TIMING)
-        memory.access(0, Access.WRITE, 0, data=b"kept")
+        memory.issue(0, Access.WRITE, 0, data=b"kept")
         memory.reset_timing()
         assert memory.traffic.total_writes == 0
         assert memory.load_line(0) == b"kept"

@@ -92,10 +92,10 @@ class TestOffsetMemoryAccounting:
         a = _OffsetMemory(shared, 0)
         b = _OffsetMemory(shared, 1 << 20)
         for i in range(3):
-            a.access(i * 64, Access.READ, 0)
-        a.access(0, Access.WRITE, 0, data=b"\x01" * 64)
+            a.issue(i * 64, Access.READ, 0)
+        a.issue(0, Access.WRITE, 0, data=b"\x01" * 64)
         for i in range(2):
-            b.access(i * 64, Access.WRITE, 0, data=b"\x02" * 64)
+            b.issue(i * 64, Access.WRITE, 0, data=b"\x02" * 64)
         # Per-runner meters see only their own requests...
         assert a.own_traffic.get("reads") == 3
         assert a.own_traffic.get("writes") == 1

@@ -28,3 +28,12 @@ class TestReportCLI:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["--only", "nope"])
+
+    def test_list_variants(self, capsys):
+        assert main(["--list-variants"]) == 0
+        out = capsys.readouterr().out
+        for name in ("plain", "baseline", "ps", "naive-ps", "rcr-ps",
+                     "ring-baseline", "ring-ps", "ps-hybrid", "eadr-oram"):
+            assert name in out
+        assert "hierarchy" in out and "policy" in out and "posmap" in out
+        assert "dirty-entry-ps" in out

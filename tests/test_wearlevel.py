@@ -58,7 +58,7 @@ class TestFunctionalTransparency:
     def test_writes_trigger_gap_moves(self, leveled):
         memory, remapper = leveled
         for i in range(12):
-            memory.access(0, Access.WRITE, 0, data=b"x")
+            memory.issue(0, Access.WRITE, 0, data=b"x")
         assert remapper.stats.get("gap_moves") == 3  # every 4 writes
 
     def test_out_of_region_untouched(self, leveled):
@@ -111,7 +111,7 @@ class TestWearSpreading:
         memory = NVMMainMemory(PCM_TIMING, track_wear=True)
         StartGapRemapper(memory, base=0, num_lines=8, gap_period=2)
         for _ in range(400):
-            memory.access(0, Access.WRITE, 0, data=b"hot")
+            memory.issue(0, Access.WRITE, 0, data=b"hot")
         # Without leveling all 400 writes hit one physical line; with it
         # the hottest physical line takes only a fraction.
         assert memory.traffic.max_line_writes() < 250
