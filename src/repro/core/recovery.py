@@ -23,18 +23,33 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
 class RecoveryReport:
-    """What a crash + recovery pass did."""
+    """What a crash + recovery pass did.
+
+    The WPQ counters are ``None`` for variants with no drainer at all
+    (plain, eADR, the volatile baselines): "this design has no WPQ" and
+    "the WPQ had nothing to apply" are different findings, and reporting
+    zeros for both used to conflate them.  Likewise
+    ``posmap_entries_rebuilt`` only counts when recovery actually
+    succeeded — a failed ``recover()`` rebuilds nothing, whatever state
+    the mirror was left in.
+    """
 
     variant: str
     recovered: bool
-    wpq_blocks_applied: int
-    wpq_entries_applied: int
+    wpq_blocks_applied: Optional[int]
+    wpq_entries_applied: Optional[int]
     posmap_entries_rebuilt: int
     wall_seconds: float
+
+    @property
+    def has_drainer(self) -> bool:
+        """Whether the variant has an ADR drain path at all."""
+        return self.wpq_blocks_applied is not None
 
 
 def crash_and_recover(controller) -> RecoveryReport:
@@ -54,17 +69,17 @@ def crash_and_recover(controller) -> RecoveryReport:
 
     rebuilt = 0
     posmap = getattr(controller, "posmap", None)
-    if posmap is not None and hasattr(posmap, "modified_entries"):
+    if recovered and posmap is not None and hasattr(posmap, "modified_entries"):
         rebuilt = sum(1 for _ in posmap.modified_entries())
     return RecoveryReport(
         variant=type(controller).__name__,
         recovered=recovered,
         wpq_blocks_applied=(drainer.stats.get("crash_blocks_applied") - blocks_before)
         if drainer
-        else 0,
+        else None,
         wpq_entries_applied=(drainer.stats.get("crash_entries_applied") - entries_before)
         if drainer
-        else 0,
+        else None,
         posmap_entries_rebuilt=rebuilt,
         wall_seconds=elapsed,
     )

@@ -1,4 +1,4 @@
-"""Crash-injection harness and consistency oracle.
+"""Crash-injection harness, consistency oracle and conformance matrix.
 
 * :mod:`repro.crashsim.injector` — arms a controller's crash hook so a
   simulated power loss fires at a chosen protocol step (or randomly), then
@@ -6,10 +6,23 @@
 * :mod:`repro.crashsim.checker` — the oracle: tracks every acknowledged
   write and verifies post-recovery content (acknowledged writes durable,
   in-flight accesses atomic).
+* :mod:`repro.crashsim.reference` — lock-step volatile reference
+  controller and the differential full-state diff.
+* :mod:`repro.crashsim.conformance` — single-cell conformance runs
+  (oracle + differential, per variant/point/WPQ geometry).
+* :mod:`repro.crashsim.matrix` — the campaign matrix over every
+  registered variant × crash point × WPQ config, run through the shared
+  sweep pool with caching and journaling.
+* :mod:`repro.crashsim.minimize` — trace replay, reproducer
+  minimization, and the standalone-reproducer JSON format.
 """
 
 from repro.crashsim.checker import ConsistencyChecker, CheckReport
+from repro.crashsim.conformance import QUIESCENT, CellResult, run_cell
 from repro.crashsim.injector import CRASH_POINTS, CrashInjector, CrashOutcome
+from repro.crashsim.matrix import MatrixPoint, plan_matrix, run_matrix
+from repro.crashsim.minimize import minimize_trace, replay
+from repro.crashsim.reference import ReferenceController, diff_logical_state
 
 __all__ = [
     "ConsistencyChecker",
@@ -17,4 +30,14 @@ __all__ = [
     "CrashInjector",
     "CrashOutcome",
     "CRASH_POINTS",
+    "CellResult",
+    "MatrixPoint",
+    "QUIESCENT",
+    "ReferenceController",
+    "diff_logical_state",
+    "minimize_trace",
+    "plan_matrix",
+    "replay",
+    "run_cell",
+    "run_matrix",
 ]

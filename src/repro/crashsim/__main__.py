@@ -1,8 +1,29 @@
-"""``python -m repro.crashsim`` — crash-fuzzing campaign entry point."""
+"""``python -m repro.crashsim`` — crash-testing entry points.
+
+Subcommands::
+
+    python -m repro.crashsim matrix [...]   # conformance matrix sweep
+    python -m repro.crashsim repro <file>   # replay a minimized reproducer
+    python -m repro.crashsim --variant ps   # legacy: one fuzzing campaign
+
+Bare flags (no subcommand) keep the original fuzzing-campaign CLI, so
+existing invocations and scripts continue to work unchanged.
+"""
 
 import sys
+from typing import Optional, Sequence
 
-from repro.crashsim.fuzzer import main
+from repro.crashsim import fuzzer, matrix, minimize
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "matrix":
+        return matrix.main(args[1:])
+    if args and args[0] == "repro":
+        return minimize.main(args[1:])
+    return fuzzer.main(args)
+
 
 if __name__ == "__main__":
     sys.exit(main())

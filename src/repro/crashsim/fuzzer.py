@@ -1,10 +1,16 @@
 """Crash-fuzzing campaigns: randomized end-to-end consistency validation.
 
-The crash matrix in the test suite hits every checkpoint once; a campaign
-goes further — hundreds of randomized (workload, crash point, crash timing)
-combinations per variant, with the consistency oracle verifying after each
-power cycle.  This is the Jiang et al. "crash consistency validation" style
-of testing the paper cites [33], applied to our own implementation.
+The crash matrix (:mod:`repro.crashsim.matrix`) pins every cell to one
+checkpoint; a campaign goes further — randomized (workload, crash point,
+crash timing) combinations against one variant, with the consistency
+oracle *and* the differential reference check verifying after each power
+cycle.  This is the Jiang et al. "crash consistency validation" style of
+testing the paper cites [33], applied to our own implementation.
+
+Since the conformance subsystem landed, a campaign is simply a cell with
+a random crash point per round: :func:`run_campaign` wraps
+:func:`repro.crashsim.conformance.run_cell` and keeps the original
+result shape for existing callers.
 
 Usable as a library (:func:`run_campaign`) or a CLI::
 
@@ -16,16 +22,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.config import WPQConfig, small_config
-from repro.core.variants import build_variant
-from repro.crashsim.checker import ConsistencyChecker
-from repro.crashsim.injector import CrashInjector
-from repro.errors import SimulatedCrash
-from repro.util.rng import DeterministicRNG
+from repro.crashsim.conformance import run_cell
+from repro.engine.registry import variant_specs
 
 
 @dataclass
@@ -58,70 +59,37 @@ def run_campaign(
     Each round: a burst of random writes/reads through the oracle, a crash
     armed at a random checkpoint (with random skip count, so later
     occurrences of the same checkpoint get hit too), one interrupted
-    operation, power-cycle, full verification.
+    operation, power-cycle, full verification (oracle + differential).
     """
-    wpq = WPQConfig(4, 4) if small_wpq else None
-    config = small_config(height=height, seed=seed, wpq=wpq)
-    controller = build_variant(variant, config)
-    checker = ConsistencyChecker(controller)
-    injector = CrashInjector(controller, DeterministicRNG(seed ^ 0xF00D))
-    rng = DeterministicRNG(seed)
-    # Every label the controller can fire: the engine's phase boundaries
-    # plus the attached policy's protocol-internal checkpoints.
-    points = list(controller.crash_points())
-    span = max(8, config.oram.num_logical_blocks // 8)
-
-    result = CampaignResult(variant=variant, rounds=rounds, crashes_fired=0,
-                            quiescent_crashes=0, operations=0)
-    started = time.perf_counter()
-    for round_no in range(rounds):
-        for i in range(ops_between_crashes):
-            address = rng.randrange(span)
-            if rng.random() < 0.7:
-                checker.write(address, bytes([round_no % 256, i]))
-            else:
-                checker.read(address)
-            result.operations += 1
-
-        point = injector.rng.choice(points)
-        # A checkpoint fires once per single-round access; skipping hits
-        # only makes sense when small WPQs chain multiple rounds.
-        skip = injector.rng.randint(0, 2) if small_wpq else 0
-        injector.arm(point, skip_hits=skip)
-        victim = rng.randrange(span)
-        payload = bytes([round_no % 256, 0xAA])
-        try:
-            checker.write(victim, payload)
-            result.operations += 1
-        except SimulatedCrash:
-            checker.note_interrupted_write(victim, payload)
-        injector.disarm()
-        if injector.fired_point is not None:
-            result.crashes_fired += 1
-        else:
-            result.quiescent_crashes += 1
-        controller.crash()
-        if not controller.recover():
-            result.violations.append(f"round {round_no}: recovery failed")
-            break
-        report = checker.verify()
-        if not report.consistent:
-            result.violations.extend(
-                f"round {round_no} @ {injector.fired_point or 'quiescent'}: {v}"
-                for v in report.violations
-            )
-            break
-    result.wall_seconds = time.perf_counter() - started
-    return result
+    cell = run_cell(
+        variant,
+        point=None,  # random checkpoint each round
+        wpq="small" if small_wpq else "default",
+        rounds=rounds,
+        seed=seed,
+        height=height,
+        ops_between_crashes=ops_between_crashes,
+    )
+    return CampaignResult(
+        variant=cell.variant,
+        rounds=cell.rounds,
+        crashes_fired=cell.crashes_fired,
+        quiescent_crashes=cell.quiescent_crashes,
+        operations=cell.operations,
+        violations=list(cell.violations),
+        wall_seconds=cell.wall_seconds,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.crashsim", description=__doc__
     )
+    # Every registered variant is a legal target: volatile designs are
+    # fuzzed for *honest* recovery failure, consistent ones for the full
+    # oracle.  (The choices used to be a hardcoded five-name subset.)
     parser.add_argument("--variant", default="ps",
-                        choices=["ps", "naive-ps", "rcr-ps", "ring-ps",
-                                 "ps-hybrid"])
+                        choices=[spec.name for spec in variant_specs()])
     parser.add_argument("--rounds", type=int, default=30)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--height", type=int, default=6)

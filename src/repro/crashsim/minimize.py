@@ -1,0 +1,198 @@
+"""Reproducer minimization for failing conformance cells.
+
+A violating cell carries its full op/crash trace
+(:class:`~repro.crashsim.conformance.CellResult.trace`).  This module
+replays such traces deterministically (:func:`replay`), shrinks them with
+greedy delta-debugging (:func:`minimize_trace`), and round-trips them as
+standalone JSON reproducers::
+
+    python -m repro.crashsim repro crash_repros/ps__step4-after-backup.json
+
+A reproducer is self-contained: the spec names the variant, WPQ
+geometry, tree height and config seed; the events are the exact logical
+ops plus the armed crash(es).  No RNG is involved in replay — the trace
+*is* the workload — so a minimized file keeps failing bit-identically on
+any machine.
+
+Event schema (one dict per event):
+
+* ``{"op": "write", "addr": int, "data": "<hex>"}``
+* ``{"op": "read", "addr": int}``
+* ``{"op": "crash", "point": str, "skip": int,
+  "victim": {"op": "write"|"read", "addr": int, "data": "<hex>"?}}`` —
+  arm the point, drive the victim op, power-cycle, check conformance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.recovery import crash_and_recover
+from repro.crashsim.checker import ConsistencyChecker
+from repro.crashsim.conformance import _build_system, _workload_span
+from repro.crashsim.injector import CrashInjector
+from repro.crashsim.reference import ReferenceController, diff_logical_state
+from repro.errors import SimulatedCrash
+
+Event = Dict[str, Any]
+
+
+def make_spec(variant: str, wpq: str, height: int, config_seed: int) -> Dict[str, Any]:
+    """The system half of a reproducer: everything but the ops."""
+    return {"variant": variant, "wpq": wpq, "height": height,
+            "config_seed": config_seed}
+
+
+def replay(spec: Dict[str, Any], events: Sequence[Event]) -> List[str]:
+    """Deterministically re-run a trace; return the violations it produces.
+
+    Each crash event power-cycles and runs the full conformance check
+    (oracle verify + differential diff).  The first crash event that
+    yields violations stops the replay and returns them — matching how
+    the original cell run stopped at its first inconsistent round.  A
+    clean replay returns ``[]``.
+    """
+    config, controller = _build_system(
+        spec["variant"], spec["height"], spec["wpq"], spec["config_seed"])
+    span = _workload_span(config)
+    supports = controller.supports_crash_consistency()
+    checker = ConsistencyChecker(controller)
+    reference = ReferenceController(span, config.oram.block_bytes)
+    injector = CrashInjector(controller)
+
+    for event in events:
+        op = event["op"]
+        if op == "write":
+            data = bytes.fromhex(event["data"])
+            checker.write(event["addr"], data)
+            reference.write(event["addr"], data)
+        elif op == "read":
+            checker.read(event["addr"])
+        elif op == "crash":
+            violations = _replay_crash(event, controller, checker,
+                                       reference, injector, supports)
+            if violations:
+                return violations
+            if not supports:
+                # Honest volatile failure: restart empty, like the cell.
+                config, controller = _build_system(
+                    spec["variant"], spec["height"], spec["wpq"],
+                    spec["config_seed"])
+                checker = ConsistencyChecker(controller)
+                reference = ReferenceController(span, config.oram.block_bytes)
+                injector = CrashInjector(controller)
+        else:
+            raise ValueError(f"unknown trace op {op!r}")
+    return []
+
+
+def _replay_crash(event, controller, checker, reference, injector,
+                  supports: bool) -> List[str]:
+    victim = event["victim"]
+    injector.arm(event["point"], skip_hits=event.get("skip", 0))
+    acknowledged = False
+    try:
+        if victim["op"] == "write":
+            checker.write(victim["addr"], bytes.fromhex(victim["data"]))
+        else:
+            checker.read(victim["addr"])
+        acknowledged = True
+    except SimulatedCrash:
+        if victim["op"] == "read":
+            checker.note_interrupted_read(victim["addr"])
+    injector.disarm()
+    if acknowledged and victim["op"] == "write":
+        reference.write(victim["addr"], bytes.fromhex(victim["data"]))
+
+    report = crash_and_recover(controller)
+    prefix = f"@ {injector.fired_point or 'quiescent'}"
+    if not supports:
+        if report.recovered:
+            return [f"{prefix}: volatile variant claims successful recovery"]
+        return []
+    if not report.recovered:
+        return [f"{prefix}: recovery failed on a variant that claims support"]
+    check = checker.verify()
+    if not check.consistent:
+        return [f"{prefix}: {v}" for v in check.violations]
+    diffs = diff_logical_state(controller, reference,
+                               checker.in_flight_window)
+    if diffs:
+        return [f"{prefix}: {v}" for v in diffs]
+    reference.apply(checker.settle())
+    return []
+
+
+def minimize_trace(spec: Dict[str, Any],
+                   events: Sequence[Event]) -> List[Event]:
+    """Greedy chunk-removal (ddmin-style) shrink of a failing trace.
+
+    The final event — the crash that exposed the violation — is pinned;
+    every prefix chunk is removed if the replay still fails without it.
+    Chunk size halves from len/2 down to single events.  The returned
+    trace is guaranteed to still reproduce a violation.
+    """
+    if not replay(spec, events):
+        raise ValueError("trace does not reproduce a violation; "
+                         "nothing to minimize")
+    current = list(events)
+    chunk = max(1, (len(current) - 1) // 2)
+    while True:
+        removed_any = False
+        i = 0
+        while i < len(current) - 1:
+            end = min(i + chunk, len(current) - 1)  # never touch the last
+            candidate = current[:i] + current[end:]
+            if replay(spec, candidate):
+                current = candidate
+                removed_any = True
+            else:
+                i = end
+        if chunk == 1 and not removed_any:
+            return current
+        chunk = max(1, chunk // 2)
+
+
+def write_reproducer(path, spec: Dict[str, Any], events: Sequence[Event],
+                     violations: Sequence[str]) -> None:
+    """Persist a standalone reproducer JSON."""
+    payload = {"spec": spec, "events": list(events),
+               "violations": list(violations)}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_reproducer(path) -> Tuple[Dict[str, Any], List[Event], List[str]]:
+    payload = json.loads(Path(path).read_text())
+    return payload["spec"], payload["events"], payload.get("violations", [])
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.crashsim repro <file.json>`` — replay a reproducer."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.crashsim repro",
+        description="Replay a minimized crash-conformance reproducer.",
+    )
+    parser.add_argument("reproducer", help="path to a reproducer JSON file")
+    args = parser.parse_args(argv)
+
+    spec, events, recorded = load_reproducer(args.reproducer)
+    print(f"variant: {spec['variant']}  wpq: {spec['wpq']}  "
+          f"height: {spec['height']}  events: {len(events)}")
+    violations = replay(spec, events)
+    if violations:
+        print("REPRODUCED — violations:")
+        for v in violations:
+            print(f"  {v}")
+        return 0
+    print("did NOT reproduce; recorded violations were:")
+    for v in recorded:
+        print(f"  {v}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Lock-step volatile reference model for the differential crash check.
+
+The acknowledged/in-flight oracle (:mod:`repro.crashsim.checker`) only
+inspects addresses the workload touched *as it drove them*.  The
+differential check is stronger: a trivially-correct dict-backed
+controller replays the same logical op sequence, and after every
+crash + recovery the two are diffed over the **whole** logical span the
+workload draws from — so a recovery that corrupts a bystander block the
+oracle never tracked still fails the cell.
+
+The reference is deliberately dumb: no tree, no stash, no persistence —
+a dict of acknowledged content.  Anything the real controller and the
+reference disagree on (outside the in-flight tolerance window) is a
+conformance violation of the system under test, because the reference
+cannot be wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class ReferenceController:
+    """Volatile dict-backed logical memory, lock-stepped with the SUT."""
+
+    def __init__(self, num_blocks: int, block_bytes: int):
+        self.num_blocks = num_blocks
+        self.block_bytes = block_bytes
+        self._blocks: Dict[int, bytes] = {}
+
+    def _pad(self, data: bytes) -> bytes:
+        return bytes(data) + bytes(self.block_bytes - len(data))
+
+    def write(self, address: int, data: bytes) -> None:
+        self._blocks[address] = self._pad(data)
+
+    def read(self, address: int) -> bytes:
+        return self._blocks.get(address, bytes(self.block_bytes))
+
+    def apply(self, resolutions: Dict[int, bytes]) -> None:
+        """Adopt the survivors of an in-flight window (checker.settle())."""
+        for address, content in resolutions.items():
+            self._blocks[address] = self._pad(bytes(content))
+
+
+def diff_logical_state(
+    controller,
+    reference: ReferenceController,
+    window: Optional[Dict[int, Tuple[bytes, bytes]]] = None,
+    addresses: Optional[Iterable[int]] = None,
+) -> List[str]:
+    """Diff the SUT's full logical state against the reference.
+
+    ``window`` is the checker's in-flight tolerance map: an address with
+    an unresolved interrupted op may legally hold either the old or the
+    new content, so it is compared against both instead of the
+    reference's (old) value.  ``addresses`` defaults to the whole
+    logical span of the reference.
+
+    Returns a list of human-readable violation strings (empty = match).
+    Every read goes through the SUT's normal access path, so the diff
+    also exercises post-recovery reads of never-rewritten blocks.
+    """
+    window = window or {}
+    if addresses is None:
+        addresses = range(reference.num_blocks)
+    violations: List[str] = []
+    for address in addresses:
+        actual = controller.read(address).data
+        if address in window:
+            old, new = window[address]
+            if actual not in (old, new):
+                violations.append(
+                    f"differential: address {address} in-flight torn "
+                    f"(got {actual[:8]!r}, want {old[:8]!r} or {new[:8]!r})"
+                )
+            continue
+        expected = reference.read(address)
+        if actual != expected:
+            violations.append(
+                f"differential: address {address} diverged from reference "
+                f"(got {actual[:8]!r}, want {expected[:8]!r})"
+            )
+    return violations

@@ -56,6 +56,22 @@ PIPELINE_PHASES = (
 _PLAN_SORT_KEY = operator.itemgetter(0, 1)
 
 
+@dataclass(frozen=True)
+class CrashPointInfo:
+    """Metadata for one crash-injection label a controller can fire.
+
+    ``origin`` records which layer announces the label: ``"engine"`` for
+    the variant-independent pipeline phase boundaries, ``"policy"`` for
+    the persistence policy's protocol-internal checkpoints (the
+    historical ``step2:*``/``step5:*``/``ring:*`` points).  The crash
+    conformance matrix journals this so failures can be bucketed by
+    layer without string-prefix guessing.
+    """
+
+    label: str
+    origin: str  # "engine" | "policy"
+
+
 @dataclass
 class AccessResult:
     """Outcome of one ORAM access.
@@ -96,6 +112,14 @@ class AccessEngine:
     #: Whether :meth:`read_modify_write` is available (Ring and plain
     #: NVM do not implement the on-chip mutate path).
     SUPPORTS_MUTATOR = True
+
+    #: Injection point for the crash harness (:mod:`repro.crashsim`):
+    #: when set, called with a label at every announced checkpoint; it
+    #: raises ``SimulatedCrash`` to unwind.  Class-level default so that
+    #: *every* engine-driven variant — including the volatile baselines
+    #: and the eADR/FullNVM strawmen — is injectable without each
+    #: hierarchy re-declaring the attribute.
+    crash_hook = None
 
     # ------------------------------------------------------------------
     # public API
@@ -391,7 +415,15 @@ class AccessEngine:
 
     def crash_points(self) -> Tuple[str, ...]:
         """All crash-injection labels this controller can fire."""
-        return PIPELINE_PHASES + tuple(self.policy.crash_points())
+        return tuple(info.label for info in self.crash_point_metadata())
+
+    def crash_point_metadata(self) -> Tuple[CrashPointInfo, ...]:
+        """Every crash-injection label, annotated with its origin layer."""
+        return tuple(
+            CrashPointInfo(label, "engine") for label in PIPELINE_PHASES
+        ) + tuple(
+            CrashPointInfo(label, "policy") for label in self.policy.crash_points()
+        )
 
     def _checkpoint(self, label: str) -> None:
         """Announce a named point to an armed crash injector, if any."""

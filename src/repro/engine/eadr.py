@@ -7,7 +7,7 @@ re-exported from :mod:`repro.core.eadr` for compatibility.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.config import SystemConfig
 from repro.energy.model import (
@@ -82,10 +82,38 @@ class EADRPolicy(VolatilePolicy):
         c.crash_time_ns = 0.0
         region = c.persistent_posmap.region
         c._version_line = region.base + region.size_bytes
+        # The access the pipeline is in the middle of, as (address,
+        # old_path): the persistence domain covers the pipeline registers
+        # too, so the crash flush must resolve it — see crash().
+        self._inflight = None
+
+    def remap(self, address: int) -> Tuple[int, int]:
+        old_path, new_path = super().remap(address)
+        self._inflight = (address, old_path)
+        return old_path, new_path
+
+    def post_relabel(self, target, old_path: int, new_path: int) -> None:
+        # Once the stash copy carries the new label, the crash flush
+        # lands it on the new path and roll-forward is safe.
+        self._inflight = None
 
     def crash(self) -> None:
         """Residual-energy flush of the full controller state."""
         c = self.c
+        # An access interrupted between the in-place remap and the
+        # target's relabel has already pointed the PosMap at the new path
+        # while the block's only copy (tree or stash) still carries the
+        # old label.  The flush would then persist a mapping to an empty
+        # path — losing the block's *previously acknowledged* content.
+        # The persistence domain includes the pipeline registers, so the
+        # flush resolves the access: roll the mapping back to the old
+        # path unless the stash copy was already relabeled.
+        if self._inflight is not None:
+            address, old_path = self._inflight
+            entry = c.stash.find(address)
+            if entry is None or entry.block.path_id == old_path:
+                c.posmap.set(address, old_path)
+            self._inflight = None
         estimate = compare_draining(c.config)["eADR-ORAM"]
         c.crash_energy_pj += estimate.energy_pj
         c.crash_time_ns += estimate.time_ns

@@ -126,9 +126,8 @@ class DirtyEntryPSPolicy(PersistencePolicy):
         self._c_temp_posmap_inserts = LazyCounter(c.stats, "temp_posmap_inserts")
         self._c_backups_created = LazyCounter(c.stats, "backups_created")
         self._c_posmap_persisted = LazyCounter(c.stats, "posmap_entries_persisted")
-        # Injection point for the crash harness: called with a label at
-        # each persistence-relevant step; raises SimulatedCrash to unwind.
-        c.crash_hook = None
+        # (crash_hook is a class attribute of AccessEngine — every
+        # engine-driven variant is injectable, not just the PS family.)
 
     # ------------------------------------------------------------------
     # position map view (step 2)
@@ -221,12 +220,15 @@ class DirtyEntryPSPolicy(PersistencePolicy):
         dirty_entries = self._dirty_entries_for(placed)
         c.now += c.engine.batch_latency_cycles(len(writes))
 
-        if len(writes) <= c.drainer.data_wpq.capacity:
+        # Rounds are sized so a round's block-bound PosMap entries (at most
+        # one per data write) can never exceed the metadata WPQ either.
+        round_capacity = min(
+            c.drainer.data_wpq.capacity, c.drainer.posmap_wpq.capacity
+        )
+        if len(writes) <= round_capacity:
             rounds = [writes]
         else:
-            rounds = plan_rounds(
-                writes, c.drainer.data_wpq.capacity, c._bounce_lines
-            )
+            rounds = plan_rounds(writes, round_capacity, c._bounce_lines)
             c.stats.counter("ordered_eviction_rounds").add(len(rounds))
             bounced = sum(len(r) for r in rounds) - len(writes)
             if bounced:
@@ -251,21 +253,16 @@ class DirtyEntryPSPolicy(PersistencePolicy):
         remaining = [e for e in tagged if (e[0], e[2]) in all_keys]
         padding = [e for e in tagged if (e[0], e[2]) not in all_keys]
         persisted: List[Tuple[int, int]] = []
-        for index, round_writes in enumerate(rounds):
-            last_round = index == len(rounds) - 1
+        for round_writes in rounds:
             keys = {
                 (w.entry_key, w.is_backup_write)
                 for w in round_writes if w.entry_key is not None
             }
             round_entries = [e for e in remaining if (e[0], e[2]) in keys]
             remaining = [e for e in remaining if (e[0], e[2]) not in keys]
-            room = c.drainer.posmap_wpq.capacity - len(round_entries)
-            if last_round:
-                round_entries.extend(padding)
-                padding = []
-            else:
-                round_entries.extend(padding[:room])
-                padding = padding[room:]
+            room = max(0, c.drainer.posmap_wpq.capacity - len(round_entries))
+            round_entries.extend(padding[:room])
+            padding = padding[room:]
 
             # 5-B: "start" signal, push data + metadata into the WPQs.
             c.drainer.start()
@@ -285,6 +282,32 @@ class DirtyEntryPSPolicy(PersistencePolicy):
             c.drainer.flush(mem_start, posmap_kind=self._posmap_persist_kind())
             persisted.extend(
                 (address, path) for address, path, _bound in round_entries
+            )
+
+        # Padding entries that found no room alongside the data rounds
+        # (Naive-PS pushes one entry per slot — Z*(L+1) of them — which a
+        # small metadata WPQ cannot absorb in the data rounds alone) drain
+        # in extra metadata-only rounds.  They carry no block/entry
+        # lock-step obligation, so an entries-only round is safe; it just
+        # must respect the WPQ capacity, which the old code overflowed by
+        # dumping every leftover entry into the final data round.
+        posmap_capacity = c.drainer.posmap_wpq.capacity
+        while padding:
+            chunk = padding[:posmap_capacity]
+            padding = padding[posmap_capacity:]
+            c.drainer.start()
+            c._checkpoint("step5:round-open")
+            for address, pending_path, _backup_bound in chunk:
+                c.drainer.push_posmap_entry(
+                    self._entry_line(address), address, pending_path
+                )
+            c._checkpoint("step5:before-end")
+            c.drainer.end()
+            c._checkpoint("step5:after-end")
+            mem_start = c.clock.core_to_mem(c.now)
+            c.drainer.flush(mem_start, posmap_kind=self._posmap_persist_kind())
+            persisted.extend(
+                (address, path) for address, path, _bound in chunk
             )
 
         for address, path in persisted:
@@ -570,7 +593,6 @@ class RingDirtyEntryPSPolicy(DirtyEntryPSPolicy):
         self._evict_preserved: set = set()
         self._graduate: Optional[Tuple[int, int]] = None
         # No bounce region / pad cursor: Ring rounds always fit the WPQ.
-        # (crash_hook is owned by the Ring hierarchy's __init__.)
 
     # -- in-place backup: the atomic access write-back -------------------
 

@@ -95,28 +95,42 @@ def point_key(
 
 
 class ResultCache:
-    """Directory-backed map from point key to :class:`RunResult`."""
+    """Directory-backed map from point key to a JSON-round-trippable result.
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    Defaults to :class:`RunResult` payloads (the simulation sweeps);
+    other sweep families — e.g. the crash-conformance matrix caching
+    :class:`~repro.crashsim.conformance.CellResult` — pass their own
+    ``encode``/``decode`` pair.  Keys are content hashes, so families
+    sharing one root cannot collide on each other's entries.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        encode=None,
+        decode=None,
+    ):
         self.root = Path(root) if root is not None else default_cache_root()
+        self._encode = encode or (lambda result: result.to_dict())
+        self._decode = decode or RunResult.from_dict
 
     def _path(self, key: str) -> Path:
         return self.root / "results" / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[RunResult]:
+    def get(self, key: str):
         """The cached result for ``key``, or ``None`` (corrupt == miss)."""
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
-            return RunResult.from_dict(payload["result"])
+            return self._decode(payload["result"])
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
-    def put(self, key: str, result: RunResult) -> None:
+    def put(self, key: str, result) -> None:
         """Store ``result`` under ``key`` atomically."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps({"key": key, "result": result.to_dict()})
+        payload = json.dumps({"key": key, "result": self._encode(result)})
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:

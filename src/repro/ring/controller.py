@@ -106,7 +106,6 @@ class RingORAMController(AccessEngine):
         self._backup_slot: Optional[Tuple[int, int]] = None
         self._reshuffle_queue: List[int] = []
         self.stats = StatSet("ring")
-        self.crash_hook = None
         self.policy = policy if policy is not None else VolatilePolicy()
         self.policy.attach(self)
 

@@ -68,6 +68,9 @@ class TestCrashMatrix:
             assert controller.recover()
             report = checker.verify()
             assert report.consistent, (point, report.violations)
+            # verify() is pure now: adopt the interrupted op's surviving
+            # value before the workload continues.
+            checker.settle()
             # Keep mutating between crashes.
             for i in range(5):
                 checker.write(rng.randrange(30), bytes([round_no, i]))
@@ -91,41 +94,87 @@ class TestCrashMatrix:
             assert report.consistent, (point, report.violations)
 
 
+def _crash_once_at(variant, point, checker=None, controller=None):
+    """One populated system, one crash at ``point``, one verification."""
+    if controller is None:
+        controller, checker = _populated(variant)
+    injector = CrashInjector(controller)
+    injector.arm(point)
+    victim, payload = 7, b"mid-flight"
+    try:
+        checker.write(victim, payload)
+    except SimulatedCrash:
+        checker.note_interrupted_write(victim, payload)
+    injector.disarm()
+    controller.crash()
+    assert controller.recover()
+    return checker.verify()
+
+
 class TestPipelinePhaseCrashMatrix:
-    """Crashes at every named engine phase boundary (satellite of the
-    pipeline refactor): the phase labels are variant-independent, so the
-    same matrix runs on any hierarchy — exercised here on PS-Ring, whose
-    write-back shape diverges most from the Path pipeline."""
+    """Crashes at every label each controller announces (satellite of the
+    pipeline refactor): the engine's phase boundaries are variant-
+    independent, the policy points are not — so each variant is swept
+    over its *own* full ``crash_points()`` set.  PS-Ring diverges most in
+    write-back shape, Rcr-PS adds the recursive-PosMap intent point, and
+    the hybrid mixes flat and recursive paths."""
 
-    @pytest.mark.parametrize("point", PIPELINE_PHASES)
-    def test_ring_ps_consistent_at_phase(self, point):
-        controller, checker = _populated("ring-ps")
-        injector = CrashInjector(controller)
-        injector.arm(point)
+    PHASE_VARIANTS = ["ring-ps", "rcr-ps", "ps-hybrid"]
 
-        victim, payload = 7, b"mid-flight"
-        try:
-            checker.write(victim, payload)
-        except SimulatedCrash:
-            checker.note_interrupted_write(victim, payload)
-        injector.disarm()
-        controller.crash()
-        assert controller.recover()
-        report = checker.verify()
-        assert report.consistent, report.violations
+    @pytest.mark.parametrize("variant", PHASE_VARIANTS)
+    def test_consistent_at_every_crash_point(self, variant):
+        probe = build_variant(variant, small_config(height=6))
+        for point in probe.crash_points():
+            report = _crash_once_at(variant, point)
+            assert report.consistent, (variant, point, report.violations)
 
-    @pytest.mark.parametrize("variant", PS_VARIANTS + ["ring-ps"])
+    @pytest.mark.parametrize("variant", PS_VARIANTS + ["ring-ps", "ps-hybrid"])
     def test_crash_points_cover_every_phase(self, variant):
         controller = build_variant(variant, small_config(height=6))
         points = controller.crash_points()
         assert set(PIPELINE_PHASES).issubset(set(points))
 
 
+class TestEADRCrashMatrix:
+    """Pinned-seed regression for the eADR in-flight remap hazard.
+
+    A crash between the in-place remap and the target's relabel used to
+    flush a PosMap entry pointing at a path holding no copy of the block
+    (the stash copy still carried the old label), losing its previously
+    acknowledged content.  The policy now tracks the in-flight access
+    and rolls the mapping back during the crash flush."""
+
+    @pytest.mark.parametrize("point", PIPELINE_PHASES)
+    def test_eadr_consistent_at_phase(self, point):
+        report = _crash_once_at("eadr-oram", point)
+        assert report.consistent, (point, report.violations)
+
+    def test_eadr_interrupted_read_leaves_block_intact(self):
+        controller, checker = _populated("eadr-oram")
+        injector = CrashInjector(controller)
+        injector.arm("phase:program-op")
+        try:
+            checker.read(7)
+        except SimulatedCrash:
+            checker.note_interrupted_read(7)
+        injector.disarm()
+        controller.crash()
+        assert controller.recover()
+        report = checker.verify()
+        assert report.consistent, report.violations
+
+
 class TestInjectorMechanics:
     def test_requires_crash_hook(self):
-        plain = build_variant("plain", small_config(height=6))
+        # Every engine-driven controller is injectable now (crash_hook is
+        # an AccessEngine class attribute); only a foreign object without
+        # the hook is rejected.
         with pytest.raises(TypeError):
-            CrashInjector(plain)
+            CrashInjector(object())
+
+    def test_plain_is_injectable(self):
+        plain = build_variant("plain", small_config(height=6))
+        CrashInjector(plain)  # no longer raises
 
     def test_unreached_point_crashes_at_quiescence(self):
         controller, checker = _populated("ps")
@@ -156,6 +205,33 @@ class TestInjectorMechanics:
             for i in range(10):
                 controller.write(i, b"y")
         assert len(hits) == 2
+
+
+class TestNaivePSSmallWPQOverflow:
+    """Pinned-seed regression from the conformance matrix: Naive-PS
+    persists one PosMap entry per written slot (Z*(L+1) of them), and the
+    eviction used to dump every entry that found no room in the data
+    rounds into the *final* round, overflowing a small metadata WPQ.
+    Overflow entries now drain in extra metadata-only rounds."""
+
+    # cell_seed(1, "naive-ps", "step4:before-backup", "small") — the
+    # exact failing matrix cell, pinned.
+    SEED = 247488439962436
+
+    def test_failing_matrix_cell_now_conformant(self):
+        from repro.crashsim.conformance import run_cell
+
+        cell = run_cell("naive-ps", point="step4:before-backup", wpq="small",
+                        rounds=3, seed=self.SEED)
+        assert cell.consistent, cell.violations
+
+    def test_small_wpq_workload_does_not_overflow(self):
+        wpq = WPQConfig(data_entries=4, posmap_entries=4)
+        controller, checker = _populated("naive-ps", wpq=wpq)
+        controller.crash()
+        assert controller.recover()
+        report = checker.verify()
+        assert report.consistent, report.violations
 
 
 class TestBaselineFailsTheMatrix:

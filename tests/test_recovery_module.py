@@ -51,7 +51,28 @@ class TestCrashAndRecover:
         controller.write(1, b"x")
         report = crash_and_recover(controller)
         assert report.recovered
-        assert report.wpq_blocks_applied == 0
+        # Plain has no WPQ at all — reported as "no drainer", not as a
+        # drain that happened to apply zero blocks.
+        assert not report.has_drainer
+        assert report.wpq_blocks_applied is None
+        assert report.wpq_entries_applied is None
+
+    def test_drainer_variant_reports_has_drainer(self):
+        controller = build_variant("ps", small_config(height=6, seed=1))
+        controller.write(1, b"x")
+        report = crash_and_recover(controller)
+        assert report.has_drainer
+        assert report.wpq_blocks_applied == 0  # flushed in normal flow
+
+    def test_failed_recovery_rebuilds_nothing(self):
+        controller = build_variant("baseline", small_config(height=6, seed=1))
+        for i in range(10):
+            controller.write(i, bytes([i]))
+        report = crash_and_recover(controller)
+        assert not report.recovered
+        # A failed recovery must not claim it rebuilt PosMap entries,
+        # whatever state the volatile mirror was left in.
+        assert report.posmap_entries_rebuilt == 0
 
 
 class TestBounceRestore:
