@@ -40,6 +40,10 @@ class StoreFullError(ReproError):
     """No free data blocks or directory slots remain."""
 
 
+class StoreClosedError(ReproError):
+    """The store was :meth:`~ObliviousKVStore.close`\\ d; reopen to use it."""
+
+
 class ObliviousKVStore:
     """Dict-like storage over a crash-consistent ORAM controller."""
 
@@ -52,11 +56,31 @@ class ObliviousKVStore:
         self._oram = controller
         self._buckets = directory_buckets
         self._data_base = 1 + directory_buckets
-        self._data_blocks = capacity - self._data_base
+        self._data_blocks = max(0, capacity - self._data_base)
         self._free: List[int] = []
         self._used: Set[int] = set()
         self._generation = 0
+        self._closed = False
         self._recover_allocator()
+
+    @classmethod
+    def create(
+        cls,
+        variant: str,
+        config,
+        directory_buckets: int = 64,
+        **controller_kwargs,
+    ) -> "ObliviousKVStore":
+        """Build the named variant's controller and open a store over it.
+
+        One-stop assembly via :meth:`repro.engine.registry.VariantSpec.make`
+        — the path serve shards and examples use instead of wiring a
+        controller by hand.
+        """
+        from repro.core.variants import get_spec
+
+        controller = get_spec(variant).make(config, **controller_kwargs)
+        return cls(controller, directory_buckets=directory_buckets)
 
     # ------------------------------------------------------------------
     # public API
@@ -64,6 +88,7 @@ class ObliviousKVStore:
 
     def put(self, key: str, value: bytes) -> None:
         """Store ``value``; atomic and durable on return."""
+        self._check_open()
         chunks = [
             value[i : i + _CHUNK_PAYLOAD]
             for i in range(0, len(value), _CHUNK_PAYLOAD)
@@ -91,6 +116,7 @@ class ObliviousKVStore:
 
     def get(self, key: str) -> bytes:
         """Fetch a value; raises ``KeyError`` when absent."""
+        self._check_open()
         _, _, _, found = self._locate(key)
         if found is None:
             raise KeyError(key)
@@ -103,6 +129,7 @@ class ObliviousKVStore:
 
     def delete(self, key: str) -> None:
         """Remove a key; atomic; raises ``KeyError`` when absent."""
+        self._check_open()
         bucket_index, payload, slot, found = self._locate(key)
         if found is None:
             raise KeyError(key)
@@ -130,18 +157,66 @@ class ObliviousKVStore:
     def free_blocks(self) -> int:
         return len(self._free)
 
+    @property
+    def controller(self):
+        """The underlying ORAM controller (for crash hooks and timing)."""
+        return self._oram
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     # ------------------------------------------------------------------
-    # crash plumbing
+    # lifecycle: settle / close / crash plumbing
     # ------------------------------------------------------------------
+
+    def settle(self) -> int:
+        """Drain in-flight ORAM state; returns reclaimed block count.
+
+        Every mutation is individually durable when its call returns (the
+        PS contract), so what can remain *in flight* is the fallout of an
+        interrupted one: a ``put`` that crashed (or raised) after writing
+        value chunks but before the directory commit leaves those blocks
+        marked used in the volatile allocator while the durable directory
+        never adopted them.  ``settle`` re-scans the durable directory and
+        rebuilds the allocator against it, reclaiming any such orphans, so
+        a shard can be handed off or shut down with zero leaked capacity.
+        """
+        self._check_open()
+        leaked_before = len(self._used)
+        self._recover_allocator()
+        return max(0, leaked_before - len(self._used))
+
+    def close(self) -> int:
+        """Settle the store, then refuse further operations.
+
+        Returns the number of orphaned blocks the final settle reclaimed.
+        Closing is idempotent; a closed store raises
+        :class:`StoreClosedError` on any data operation.
+        """
+        if self._closed:
+            return 0
+        reclaimed = self.settle()
+        self._closed = True
+        return reclaimed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("operation on a closed ObliviousKVStore")
 
     def crash(self) -> None:
         self._oram.crash()
 
     def recover(self) -> bool:
-        """Recover the ORAM, then rebuild the volatile allocator state."""
+        """Recover the ORAM, then rebuild the volatile allocator state.
+
+        A successful recovery reopens a closed store: all volatile state
+        (including the closed flag) is rebuilt from the durable image.
+        """
         if not self._oram.recover():
             return False
         self._recover_allocator()
+        self._closed = False
         return True
 
     # ------------------------------------------------------------------
@@ -190,9 +265,17 @@ class ObliviousKVStore:
 
     def _allocate(self, count: int) -> List[int]:
         """Contiguous-run allocation from the free list."""
+        if count < 1:
+            raise ValueError(f"allocation count must be >= 1, got {count}")
+        if not self._free:
+            # An exhausted (or zero-capacity) pool is a capacity condition
+            # the caller can act on, never a bare IndexError from pop().
+            raise StoreFullError(
+                f"out of data blocks: 0 of {self._data_blocks} free "
+                f"({len(self._used)} in use); delete keys or settle() to "
+                "reclaim orphans"
+            )
         if count == 1:
-            if not self._free:
-                raise StoreFullError("out of data blocks")
             block = self._free.pop()
             self._used.add(block)
             return [block]
@@ -211,7 +294,10 @@ class ObliviousKVStore:
                         self._used.add(block)
                     return chosen
                 run_start = i
-        raise StoreFullError(f"no contiguous run of {count} blocks")
+        raise StoreFullError(
+            f"no contiguous run of {count} blocks "
+            f"({len(self._free)} of {self._data_blocks} free but fragmented)"
+        )
 
     def _release(self, start: int, count: int) -> None:
         for block in range(start, start + count):
@@ -220,9 +306,18 @@ class ObliviousKVStore:
                 self._free.append(block)
 
     def _recover_allocator(self) -> None:
-        """Scan the directory and rebuild free list + generation counter."""
+        """Scan the directory and rebuild free list + generation counter.
+
+        Tolerant by construction: a zero-capacity data region yields an
+        empty free list (allocation then raises :class:`StoreFullError`
+        with a clear message rather than an ``IndexError``), and entries
+        pointing outside the data region — possible only if the durable
+        image was corrupted — are skipped rather than poisoning the free
+        list with unusable block numbers.
+        """
         self._used = set()
         self._generation = 0
+        data_end = self._data_base + self._data_blocks
         for bucket in range(self._buckets):
             payload = self._oram.read(1 + bucket).data
             for slot in range(_ENTRIES_PER_BUCKET):
@@ -233,6 +328,8 @@ class ObliviousKVStore:
                 count = int.from_bytes(entry[10:12], "little")
                 gen = int.from_bytes(entry[12:16], "little")
                 self._generation = max(self._generation, gen)
+                if start < self._data_base or start + count > data_end:
+                    continue  # corrupt entry; never mark phantom blocks used
                 for block in range(start, start + count):
                     self._used.add(block)
         self._free = [

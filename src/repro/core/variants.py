@@ -40,7 +40,11 @@ from repro.core.naive import NaivePSORAMController
 from repro.core.plain import PlainNVMController
 from repro.core.recursive_ps import RcrPSORAMController
 from repro.engine import registry
-from repro.engine.registry import VariantSpec, variant_specs  # noqa: F401
+from repro.engine.registry import (  # noqa: F401
+    VariantSpec,
+    get_spec,
+    variant_specs,
+)
 from repro.mem.controller import NVMMainMemory
 from repro.oram.controller import PathORAMController
 from repro.oram.recursive import RecursivePathORAM

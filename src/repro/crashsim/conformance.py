@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.config import WPQConfig, small_config
 from repro.core.recovery import crash_and_recover
-from repro.core.variants import build_variant
+from repro.core.variants import get_spec
 from repro.crashsim.checker import ConsistencyChecker
 from repro.crashsim.injector import CrashInjector
 from repro.crashsim.reference import ReferenceController, diff_logical_state
@@ -111,7 +111,7 @@ class CellResult:
 def _build_system(variant: str, height: int, wpq: str, config_seed: int):
     config = small_config(height=height, seed=config_seed,
                           wpq=WPQ_CONFIGS[wpq])
-    return config, build_variant(variant, config)
+    return config, get_spec(variant).make(config)
 
 
 def _workload_span(config) -> int:

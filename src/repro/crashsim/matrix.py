@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import small_config
-from repro.core.variants import build_variant
+from repro.core.variants import get_spec
 from repro.crashsim.conformance import QUIESCENT, WPQ_CONFIGS, CellResult, run_cell
 from repro.crashsim.minimize import make_spec, minimize_trace, write_reproducer
 from repro.engine.registry import variant_specs
@@ -89,7 +89,7 @@ def cell_seed(campaign_seed: int, variant: str, point: str, wpq: str) -> int:
 
 def variant_crash_points(variant: str, height: int = 6) -> List[str]:
     """Every label the variant's controller can fire (probe instance)."""
-    controller = build_variant(variant, small_config(height=height, seed=0))
+    controller = get_spec(variant).make(small_config(height=height, seed=0))
     return list(controller.crash_points())
 
 

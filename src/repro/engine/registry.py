@@ -24,6 +24,16 @@ class VariantSpec:
     summary: str  #: one-line description for --list-variants
     factory: Callable
 
+    def make(self, config, **kwargs):
+        """Assemble this variant's controller for ``config``.
+
+        The one sanctioned way to turn a spec into a running system —
+        callers (serve shards, conformance cells, apps) hold a spec and
+        call ``make`` instead of re-implementing controller assembly.
+        ``kwargs`` are forwarded to the factory (``memory=``, ``key=``).
+        """
+        return self.factory(config, **kwargs)
+
 
 REGISTRY: Dict[str, VariantSpec] = {}
 
@@ -40,16 +50,20 @@ def _ensure_registered() -> None:
         import repro.core.variants  # noqa: F401
 
 
-def build_variant(name: str, config, **kwargs):
-    """Instantiate the named variant's controller for ``config``."""
+def get_spec(name: str) -> VariantSpec:
+    """Look up a registered spec by name (loud KeyError on a typo)."""
     _ensure_registered()
     try:
-        spec = REGISTRY[name]
+        return REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown variant {name!r}; known: {', '.join(sorted(REGISTRY))}"
         ) from None
-    return spec.factory(config, **kwargs)
+
+
+def build_variant(name: str, config, **kwargs):
+    """Instantiate the named variant's controller for ``config``."""
+    return get_spec(name).make(config, **kwargs)
 
 
 def variant_specs() -> List[VariantSpec]:

@@ -76,3 +76,20 @@ class ConsistencyViolation(CrashError):
 
 class TraceFormatError(ReproError):
     """A workload trace file is malformed."""
+
+
+class ServiceError(ReproError):
+    """Base class for ORAM-as-a-service front-end errors."""
+
+
+class ServiceCrashedError(ServiceError):
+    """The service crashed with this request in flight (never acknowledged).
+
+    The client must treat the op as indeterminate: after recovery the key
+    legally holds either the old or the new value (per-key atomicity),
+    exactly like an interrupted single-controller access.
+    """
+
+
+class ServiceStoppedError(ServiceError):
+    """A request was submitted to a service that is not running."""

@@ -1,0 +1,76 @@
+"""The bulk pool: a plain encrypted block store (no ORAM, no hiding).
+
+The compartmentalization argument (SNIPPETS.md snippets 1 and 3): ORAM
+cost should be paid only for the sensitive working set.  Bulk data lives
+here — encrypted and integrity-protected with the same counter-mode
+cipher the ORAM blocks use, but stored at its hashed key with O(1)
+access, so an observer *does* learn the access pattern (which entry, how
+often), exactly the leak the table in snippet 1 accepts for the
+non-sensitive pool.
+
+Durability model: each ``put`` is a single atomic replacement of the
+entry (value ciphertext + fresh IV), i.e. the store behaves like an
+ordinary write-ahead-logged KV store on durable media — acknowledged
+writes survive a power cut, in-flight ones are atomic.  That keeps the
+service-level crash contract uniform across pools while the interesting
+crash machinery stays in the ORAM shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+from repro.crypto.ctr import CtrCipher
+
+
+class BulkStore:
+    """Encrypted, non-oblivious key-value pool with access-pattern leak."""
+
+    def __init__(self, key: bytes = b"repro-serve-bulk-key"):
+        self._cipher = CtrCipher(key)
+        #: fingerprint -> (iv, ciphertext); the persistent image.
+        self._entries: Dict[bytes, Tuple[int, bytes]] = {}
+        self._next_iv = 1
+        self.stats = {"reads": 0, "writes": 0, "deletes": 0}
+        #: The observable access trace (fingerprints, in order) — what a
+        #: bus attacker sees; security tests assert the leak is real here
+        #: and absent on the ORAM pool.
+        self.access_log = []
+
+    @staticmethod
+    def _fingerprint(key: str) -> bytes:
+        return hashlib.blake2b(
+            key.encode("utf-8"), key=b"repro-serve-bulk", digest_size=8
+        ).digest()
+
+    def put(self, key: str, value: bytes) -> None:
+        fingerprint = self._fingerprint(key)
+        iv = self._next_iv
+        self._next_iv += 1
+        self._entries[fingerprint] = (iv, self._cipher.encrypt(value, iv))
+        self.stats["writes"] += 1
+        self.access_log.append(fingerprint)
+
+    def get(self, key: str) -> bytes:
+        fingerprint = self._fingerprint(key)
+        self.stats["reads"] += 1
+        self.access_log.append(fingerprint)
+        try:
+            iv, ciphertext = self._entries[fingerprint]
+        except KeyError:
+            raise KeyError(key) from None
+        return self._cipher.decrypt(ciphertext, iv)
+
+    def delete(self, key: str) -> None:
+        fingerprint = self._fingerprint(key)
+        self.stats["deletes"] += 1
+        self.access_log.append(fingerprint)
+        if self._entries.pop(fingerprint, None) is None:
+            raise KeyError(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self._fingerprint(key) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,309 @@
+"""The sharded ORAM-as-a-service front end.
+
+:class:`ShardedKVService` hash-partitions the key space over N
+:class:`~repro.serve.worker.ShardWorker`\\ s (one crash-consistent engine
++ oblivious store each) and offers a dict-like API on top.  Two
+deployment modes share every line of shard/batch code:
+
+* ``mode="thread"`` — a thread-pool service: one dispatcher queue per
+  shard, one worker thread per shard draining it with an opportunistic
+  batch window.  Clients block on their request's latch.  This is the
+  interactive deployment behind ``python -m repro.serve serve``.
+* ``mode="inline"`` — fully deterministic: :meth:`execute` groups a
+  request list by shard and runs the batches on the calling thread in
+  shard order.  The crash-conformance cells and the modeled load
+  generator use this mode, so every service behaviour they observe is
+  reproducible bit-for-bit from a seed.
+
+Crash story (the service-level analogue of the paper's power-failure
+model): :meth:`crash` cuts power to *every* shard at once — queued and
+in-flight requests fail with :class:`ServiceCrashedError` (they were
+never acknowledged; after recovery each affected key legally holds its
+old or new value), then :meth:`recover` power-cycles every shard and the
+service resumes.  Injection points come from
+:meth:`crash_points`: every shard's engine/policy labels, prefixed
+``shard<i>:``, exactly mirroring the single-controller surface the
+crashsim matrix drives.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceStoppedError
+from repro.serve.batcher import OP_DELETE, OP_GET, OP_PUT, Request
+from repro.serve.sharding import shard_of
+from repro.serve.worker import SHUTDOWN, ShardWorker
+
+#: Service-level pseudo-point: the power cut lands between batches, when
+#: every shard is quiescent (mirrors crashsim's "quiescent" cell).
+SERVICE_QUIESCENT = "service:quiescent"
+
+
+class ShardedKVService:
+    """N independent ORAM shards behind one key-value front door."""
+
+    def __init__(
+        self,
+        shards: int = 4,
+        variant: str = "ps",
+        height: int = 8,
+        directory_buckets: int = 32,
+        batch_max: int = 16,
+        seed: int = 1,
+        key: bytes = b"repro-psoram-key",
+        mode: str = "thread",
+        pad_batches: bool = False,
+    ):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if mode not in ("thread", "inline"):
+            raise ValueError(f"unknown mode {mode!r}; 'thread' or 'inline'")
+        self.num_shards = shards
+        self.variant = variant
+        self.batch_max = batch_max
+        self.mode = mode
+        self.workers: List[ShardWorker] = [
+            ShardWorker(
+                index,
+                variant=variant,
+                height=height,
+                directory_buckets=directory_buckets,
+                seed=seed,
+                key=key,
+                pad_batches=pad_batches,
+            )
+            for index in range(shards)
+        ]
+        self._inboxes: List["queue_module.Queue"] = []
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started = False
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ShardedKVService":
+        """Spin up the per-shard worker threads (thread mode only)."""
+        if self.mode == "inline":
+            self._started = True
+            return self
+        if self._started:
+            return self
+        self._stop.clear()
+        self._inboxes = [queue_module.Queue() for _ in self.workers]
+        self._threads = []
+        for worker, inbox in zip(self.workers, self._inboxes):
+            thread = threading.Thread(
+                target=worker.run_loop,
+                args=(inbox, self.batch_max, self._stop),
+                name=f"serve-shard-{worker.index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain queues, stop threads, settle stores."""
+        if not self._started:
+            return
+        if self.mode == "thread":
+            for inbox in self._inboxes:
+                inbox.put(SHUTDOWN)
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+            self._stop.set()
+            self._threads = []
+        self._started = False
+        for worker in self.workers:
+            if not worker.crashed:
+                worker.store.settle()
+
+    def __enter__(self) -> "ShardedKVService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        """The shard a key routes to (pure function of key and N)."""
+        return shard_of(key, self.num_shards)
+
+    def submit(self, op: str, key: str, value: Optional[bytes] = None) -> Request:
+        """Route one request to its shard; returns the pending request.
+
+        In thread mode the request is enqueued and resolved by the shard
+        thread; in inline mode it executes immediately (a batch of one).
+        """
+        if not self._started:
+            raise ServiceStoppedError("service not started (call start())")
+        request = Request(op, key, value)
+        request.shard = self.shard_for(key)
+        if self.mode == "thread":
+            self._inboxes[request.shard].put(request)
+        else:
+            self.workers[request.shard].execute_batch([request])
+        return request
+
+    def route(self, ops: Sequence[Tuple]) -> List[Request]:
+        """Build routed (but unexecuted) requests from op tuples.
+
+        The crash-conformance cell uses this to keep request handles
+        across a mid-burst power failure: :meth:`run_batches` may unwind
+        with a :class:`SimulatedCrash`, and acknowledgement state then
+        lives on these objects.
+        """
+        requests: List[Request] = []
+        for op_tuple in ops:
+            op, key = op_tuple[0], op_tuple[1]
+            value = op_tuple[2] if len(op_tuple) > 2 else None
+            request = Request(op, key, value)
+            request.shard = self.shard_for(key)
+            requests.append(request)
+        return requests
+
+    def run_batches(self, requests: Sequence[Request]) -> None:
+        """Execute routed requests in the canonical deterministic order.
+
+        Groups by shard preserving per-shard FIFO order, chunks each
+        group by ``batch_max``, and executes shard 0's batches first,
+        then shard 1's, and so on — the order the conformance reference
+        replays.  A simulated crash propagates to the caller with every
+        unexecuted request still pending.
+        """
+        if not self._started:
+            raise ServiceStoppedError("service not started (call start())")
+        by_shard: List[List[Request]] = [[] for _ in self.workers]
+        for request in requests:
+            by_shard[request.shard].append(request)
+        for shard, group in enumerate(by_shard):
+            for base in range(0, len(group), self.batch_max):
+                self.workers[shard].execute_batch(
+                    group[base : base + self.batch_max]
+                )
+
+    def execute(self, ops: Sequence[Tuple]) -> List[Request]:
+        """Deterministic batched execution of ``(op, key[, value])`` tuples.
+
+        Returns the resolved (or failed) requests in input order.
+        """
+        requests = self.route(ops)
+        self.run_batches(requests)
+        return requests
+
+    # -- blocking dict-like helpers ------------------------------------
+
+    def put(self, key: str, value: bytes, timeout: Optional[float] = 30.0) -> None:
+        self.submit(OP_PUT, key, value).wait(timeout)
+
+    def get(self, key: str, timeout: Optional[float] = 30.0) -> bytes:
+        result = self.submit(OP_GET, key).wait(timeout)
+        assert result is not None
+        return result
+
+    def delete(self, key: str, timeout: Optional[float] = 30.0) -> None:
+        self.submit(OP_DELETE, key).wait(timeout)
+
+    # ------------------------------------------------------------------
+    # crash surface
+    # ------------------------------------------------------------------
+
+    def crash_points(self) -> List[str]:
+        """Every injectable label, shard-prefixed, plus the quiescent one."""
+        labels = [SERVICE_QUIESCENT]
+        for worker in self.workers:
+            labels.extend(
+                f"shard{worker.index}:{label}" for label in worker.crash_points()
+            )
+        return labels
+
+    def crash(self) -> None:
+        """Whole-service power failure: every shard loses power at once.
+
+        Queued (thread-mode) requests fail as unacknowledged; worker
+        threads die with their shards.  The service refuses new requests
+        until :meth:`recover`.
+        """
+        from repro.errors import ServiceCrashedError
+
+        self._stop.set()
+        if self.mode == "thread" and self._threads:
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+            self._threads = []
+            error = ServiceCrashedError("service lost power with this request queued")
+            for inbox in self._inboxes:
+                while True:
+                    try:
+                        pending = inbox.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    if pending is not SHUTDOWN and not pending.done:
+                        pending.fail(error)
+        for worker in self.workers:
+            worker.power_fail()
+        self._crashed = True
+        self._started = False
+
+    def recover(self) -> bool:
+        """Power-cycle recovery of every shard; restarts thread mode.
+
+        True only if *every* shard recovered (all-or-nothing: a service
+        over a volatile variant honestly reports False).
+        """
+        recovered = all([worker.recover() for worker in self.workers])
+        self._crashed = not recovered
+        if recovered and self.mode == "thread":
+            self._started = False
+            self.start()
+        elif recovered:
+            self._started = True
+        return recovered
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict:
+        """A JSON-ready snapshot of service + per-shard health/stats."""
+        shard_rows = []
+        totals = {
+            "requests": 0, "batches": 0, "store_ops": 0,
+            "coalesced_reads": 0, "coalesced_writes": 0,
+            "busy_cycles": 0, "crashes": 0, "recoveries": 0,
+        }
+        for worker in self.workers:
+            row = dict(worker.stats)
+            row.update(
+                shard=worker.index,
+                crashed=worker.crashed,
+                free_blocks=worker.store.free_blocks,
+                config_seed=worker.config_seed,
+            )
+            shard_rows.append(row)
+            for field in totals:
+                totals[field] += worker.stats[field]
+        requests = totals["requests"] or 1
+        return {
+            "mode": self.mode,
+            "variant": self.variant,
+            "shards": self.num_shards,
+            "batch_max": self.batch_max,
+            "started": self._started,
+            "crashed": self._crashed,
+            "totals": totals,
+            "coalesce_rate": round(
+                (totals["coalesced_reads"] + totals["coalesced_writes"])
+                / requests, 4),
+            "per_shard": shard_rows,
+        }

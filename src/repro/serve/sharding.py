@@ -1,0 +1,62 @@
+"""Deterministic hash partitioning of the key space across shards.
+
+Palermo's lesson (PAPERS.md) is that oblivious memory only reaches
+practical throughput by exploiting parallelism across *independent*
+memory resources.  The serving-layer analogue implemented here: the
+logical key space is hash-partitioned across N shards, each owning its
+own ORAM tree, stash and PosMap, so shards proceed concurrently with no
+shared state and no cross-shard coordination.
+
+Routing must be a pure function of ``(key, num_shards)``:
+
+* **restart-stable** — the same key maps to the same shard after a
+  power cycle, or recovery would look for data in the wrong tree;
+* **process-stable** — no salted ``hash()``; the digest is keyed BLAKE2
+  with a fixed domain-separation key, so routing is identical across
+  interpreter runs and worker processes;
+* **independent of the store's bucket hash** — a different domain key
+  than the kvstore fingerprint, so directory collisions and shard
+  placement are uncorrelated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List
+
+#: Domain-separation key for shard routing (distinct from the kvstore
+#: directory fingerprint, which is unkeyed BLAKE2).
+_ROUTE_KEY = b"repro-serve-shard-route"
+
+
+def route_digest(key: str) -> int:
+    """The 64-bit routing digest of a key (shard = digest mod N)."""
+    digest = hashlib.blake2b(
+        key.encode("utf-8"), key=_ROUTE_KEY, digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def shard_of(key: str, num_shards: int) -> int:
+    """Deterministically map ``key`` to a shard index in [0, num_shards)."""
+    if num_shards < 1:
+        raise ValueError(f"need at least one shard, got {num_shards}")
+    if num_shards == 1:
+        return 0
+    return route_digest(key) % num_shards
+
+
+def partition(keys: Iterable[str], num_shards: int) -> List[List[str]]:
+    """Group keys by shard, preserving each shard's FIFO arrival order."""
+    groups: List[List[str]] = [[] for _ in range(num_shards)]
+    for key in keys:
+        groups[shard_of(key, num_shards)].append(key)
+    return groups
+
+
+def balance_histogram(keys: Iterable[str], num_shards: int) -> Dict[int, int]:
+    """Keys-per-shard histogram (used by status displays and tests)."""
+    counts = {shard: 0 for shard in range(num_shards)}
+    for key in keys:
+        counts[shard_of(key, num_shards)] += 1
+    return counts

@@ -1,0 +1,228 @@
+"""Compartmentalized two-pool store: ORAM for hot/sensitive, bulk for rest.
+
+Routing layer over two pools (the pattern of SNIPPETS.md snippets 1
+and 3): the **hot pool** is a sharded ORAM service — access pattern
+hidden, O(log N) per op — and the **bulk pool** is a plain encrypted
+store — O(1), pattern visible.  Keys move between them under a
+promotion/demotion policy so ORAM cost stays proportional to the
+sensitive working set:
+
+* keys matching a **sensitive prefix** are pinned hot: they are born in
+  ORAM and never demoted (their access pattern must never leak);
+* a bulk key accessed ``promote_after`` times within the sliding
+  recency window is **promoted** (its value migrates into the ORAM
+  shards — a hot working set earns pattern protection and, with
+  batching, amortized cost);
+* when the resident hot set exceeds ``hot_capacity``, the
+  least-recently-used unpinned hot key is **demoted** back to bulk,
+  value migrating out, keeping the ORAM trees small.
+
+The router itself keeps only volatile state (counts, recency): after a
+crash it rebuilds conservatively — pinned routing is pure prefix
+matching, and a promoted key's location is re-discovered on first touch
+(hot pool first, bulk fallback), so no routing metadata needs its own
+crash story.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PromotionPolicy:
+    """Knobs of the hot/bulk migration policy."""
+
+    #: Accesses within the recency window that earn a bulk key promotion.
+    promote_after: int = 3
+    #: Sliding window length (accesses) over which touches are counted.
+    window: int = 256
+    #: Resident unpinned hot keys beyond which LRU demotion kicks in.
+    hot_capacity: int = 64
+    #: Key prefixes that are pinned hot (never bulk, never demoted).
+    sensitive_prefixes: Tuple[str, ...] = ("secret:",)
+
+    def is_sensitive(self, key: str) -> bool:
+        return key.startswith(self.sensitive_prefixes)
+
+
+@dataclass
+class TwoPoolStats:
+    hot_ops: int = 0
+    bulk_ops: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    pinned_keys: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class TwoPoolStore:
+    """Route keys between an ORAM hot pool and an encrypted bulk pool.
+
+    ``hot`` is anything with the kvstore op surface — a
+    :class:`~repro.serve.frontend.ShardedKVService` in production, a bare
+    :class:`~repro.apps.kvstore.ObliviousKVStore` in tests.
+    """
+
+    def __init__(self, hot, bulk, policy: Optional[PromotionPolicy] = None):
+        self.hot = hot
+        self.bulk = bulk
+        self.policy = policy or PromotionPolicy()
+        self.stats = TwoPoolStats()
+        #: key -> monotone last-touch tick; membership = resident hot.
+        self._hot_keys: Dict[str, int] = {}
+        self._pinned: set = set()
+        self._tick = 0
+        #: Sliding access window backing the promotion counter.
+        self._recent: Deque[str] = deque()
+        self._counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # public op surface (same shape as the pools it routes between)
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: bytes) -> None:
+        if self._route_hot(key):
+            self.hot.put(key, value)
+            self.stats.hot_ops += 1
+            self._touch_hot(key)
+        else:
+            self.bulk.put(key, value)
+            self.stats.bulk_ops += 1
+            self._note_bulk_access(key, value_known=value)
+        self._enforce_capacity()
+
+    def get(self, key: str) -> bytes:
+        if self._route_hot(key):
+            self.stats.hot_ops += 1
+            self._touch_hot(key)
+            return self.hot.get(key)
+        self.stats.bulk_ops += 1
+        try:
+            value = self.bulk.get(key)
+        except KeyError:
+            self._note_bulk_access(key, value_known=None)
+            raise
+        self._note_bulk_access(key, value_known=value)
+        self._enforce_capacity()
+        return value
+
+    def delete(self, key: str) -> None:
+        if self._route_hot(key):
+            self.stats.hot_ops += 1
+            self._hot_keys.pop(key, None)
+            self._pinned.discard(key)
+            try:
+                self.hot.delete(key)
+            except KeyError:
+                pass
+        else:
+            self.stats.bulk_ops += 1
+            try:
+                self.bulk.delete(key)
+            except KeyError:
+                pass
+
+    def __contains__(self, key: str) -> bool:
+        if self._route_hot(key):
+            try:
+                self.hot.get(key)
+                return True
+            except KeyError:
+                return False
+        return key in self.bulk
+
+    # ------------------------------------------------------------------
+    # routing + migration
+    # ------------------------------------------------------------------
+
+    def is_hot(self, key: str) -> bool:
+        """Whether a key currently routes to the ORAM pool."""
+        return self._route_hot(key)
+
+    def _route_hot(self, key: str) -> bool:
+        if key in self._hot_keys:
+            return True
+        if self.policy.is_sensitive(key):
+            self._pinned.add(key)
+            self._touch_hot(key)
+            self.stats.pinned_keys = len(self._pinned)
+            return True
+        return False
+
+    def _touch_hot(self, key: str) -> None:
+        self._tick += 1
+        self._hot_keys[key] = self._tick
+
+    def _note_bulk_access(self, key: str, value_known: Optional[bytes]) -> None:
+        """Count a bulk touch; promote when the key earns it."""
+        self._recent.append(key)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        while len(self._recent) > self.policy.window:
+            old = self._recent.popleft()
+            remaining = self._counts.get(old, 0) - 1
+            if remaining <= 0:
+                self._counts.pop(old, None)
+            else:
+                self._counts[old] = remaining
+        if self._counts.get(key, 0) >= self.policy.promote_after:
+            self._promote(key, value_known)
+
+    def _promote(self, key: str, value_known: Optional[bytes]) -> None:
+        """Migrate a bulk key into the ORAM pool (value moves with it)."""
+        value = value_known
+        if value is None:
+            try:
+                value = self.bulk.get(key)
+            except KeyError:
+                value = None  # hot membership only; stored on first put
+        if value is not None:
+            self.hot.put(key, value)
+            try:
+                self.bulk.delete(key)
+            except KeyError:
+                pass
+        self._touch_hot(key)
+        self._counts.pop(key, None)
+        self.stats.promotions += 1
+
+    def _enforce_capacity(self) -> None:
+        """Demote LRU unpinned hot keys while over ``hot_capacity``."""
+        while True:
+            unpinned = [k for k in self._hot_keys if k not in self._pinned]
+            if len(unpinned) <= self.policy.hot_capacity:
+                return
+            victim = min(unpinned, key=self._hot_keys.__getitem__)
+            self._demote(victim)
+
+    def _demote(self, key: str) -> None:
+        """Migrate a hot key's value back to the bulk pool."""
+        self._hot_keys.pop(key, None)
+        try:
+            value = self.hot.get(key)
+        except KeyError:
+            value = None  # never written while hot; nothing to migrate
+        if value is not None:
+            self.bulk.put(key, value)
+            try:
+                self.hot.delete(key)
+            except KeyError:
+                pass
+        self.stats.demotions += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict:
+        return {
+            "hot_resident": len(self._hot_keys),
+            "pinned": len(self._pinned),
+            "bulk_entries": len(self.bulk),
+            "window_fill": len(self._recent),
+            **self.stats.to_dict(),
+        }

@@ -1,0 +1,266 @@
+"""Per-shard worker: one crash-consistent engine behind a batch executor.
+
+Each worker owns a full vertical slice — a :class:`VariantSpec`-assembled
+controller (any crash-consistent variant from the PR 4 registry) with an
+:class:`~repro.apps.kvstore.ObliviousKVStore` over it — and executes
+:class:`~repro.serve.batcher.BatchPlan`\\ s against it.  Workers share
+nothing: no locks, no cross-shard state, so N workers model N independent
+ORAM memories proceeding concurrently (the Palermo parallelism argument
+at the serving layer).
+
+Two execution modes, same code path:
+
+* **inline** — :meth:`execute_batch` on the caller's thread; used by the
+  deterministic load generator and the crash-conformance cells;
+* **thread** — :meth:`run_loop` drains a queue in a background thread
+  with a bounded batch window; used by ``python -m repro.serve serve``.
+
+The worker is the service's crash surface: a :class:`SimulatedCrash`
+raised by the controller mid-batch unwinds the batch, fails its
+unacknowledged requests with :class:`ServiceCrashedError`, and leaves the
+worker dead until :meth:`recover`.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+from typing import Dict, List, Optional
+
+from repro.apps.kvstore import ObliviousKVStore
+from repro.config import small_config
+from repro.core.recovery import RecoveryReport, crash_and_recover
+from repro.errors import ReproError, ServiceCrashedError, SimulatedCrash
+from repro.serve.batcher import BatchPlan, Request, plan_batch
+from repro.util.rng import DeterministicRNG
+
+#: Queue sentinel that tells a thread-mode worker loop to exit.
+SHUTDOWN = object()
+
+
+class ShardWorker:
+    """One shard: engine + store + batch executor (see module docstring)."""
+
+    def __init__(
+        self,
+        index: int,
+        variant: str = "ps",
+        height: int = 8,
+        directory_buckets: int = 32,
+        seed: int = 1,
+        key: bytes = b"repro-psoram-key",
+        pad_batches: bool = False,
+    ):
+        self.index = index
+        self.variant = variant
+        #: When set, every batch issues at least one ORAM access per
+        #: request: coalescing savings are re-spent as dummy accesses, so
+        #: a bus observer cannot learn from the access *count* that a
+        #: batch contained duplicate or read-your-writes keys.  Off by
+        #: default (the count leak is bounded by the batch window and
+        #: most deployments prefer the throughput).
+        self.pad_batches = pad_batches
+        #: Deterministic per-shard config seed: independent substreams so
+        #: shard RNGs never correlate, stable across restarts.
+        self.config_seed = DeterministicRNG(seed).substream(f"shard-{index}").seed
+        self.config = small_config(height=height, seed=self.config_seed)
+        self.store = ObliviousKVStore.create(
+            variant, self.config, directory_buckets=directory_buckets, key=key
+        )
+        self.crashed = False
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "batches": 0,
+            "store_ops": 0,
+            "coalesced_reads": 0,
+            "coalesced_writes": 0,
+            "busy_cycles": 0,
+            "pad_accesses": 0,
+            "crashes": 0,
+            "recoveries": 0,
+        }
+
+    @property
+    def controller(self):
+        return self.store.controller
+
+    def crash_points(self) -> List[str]:
+        """The underlying controller's injectable labels."""
+        return list(self.controller.crash_points())
+
+    # ------------------------------------------------------------------
+    # batch execution (both modes)
+    # ------------------------------------------------------------------
+
+    def execute_batch(self, requests: List[Request]) -> BatchPlan:
+        """Plan and execute one batch; resolves every request's future.
+
+        On a simulated crash the batch's unresolved requests fail with
+        :class:`ServiceCrashedError` and the crash re-raises so the
+        owning service can power-cycle every shard.
+        """
+        if self.crashed:
+            error = ServiceCrashedError(
+                f"shard {self.index} is down (crash not yet recovered)"
+            )
+            for request in requests:
+                request.fail(error)
+            raise error
+        plan = plan_batch(requests)
+        arrival = self.controller.now
+        loaded: Dict[str, Optional[bytes]] = {}
+        commit_errors: Dict[str, ReproError] = {}
+        try:
+            for load_key in plan.loads:
+                try:
+                    loaded[load_key] = self.store.get(load_key)
+                except KeyError:
+                    loaded[load_key] = None
+            for commit_key, value in plan.commits:
+                try:
+                    if value is None:
+                        try:
+                            self.store.delete(commit_key)
+                        except KeyError:
+                            pass  # service deletes are idempotent
+                    else:
+                        self.store.put(commit_key, value)
+                except SimulatedCrash:
+                    raise
+                except ReproError as error:  # e.g. StoreFullError
+                    commit_errors[commit_key] = error
+            if self.pad_batches:
+                # Re-spend coalescing savings as dummy accesses of the
+                # store header block so the batch's ORAM access count
+                # reveals nothing about intra-batch key duplication.
+                for _ in range(max(0, len(requests) - plan.store_ops)):
+                    self.controller.read(0)
+                    self.stats["pad_accesses"] += 1
+        except SimulatedCrash:
+            self.crashed = True
+            self.stats["crashes"] += 1
+            error = ServiceCrashedError(
+                f"shard {self.index} crashed mid-batch; ops never acknowledged"
+            )
+            for request in requests:
+                if not request.done:
+                    request.fail(error)
+            raise
+
+        finish = self.controller.now
+        self._resolve(requests, plan, loaded, commit_errors, arrival, finish)
+        self.stats["requests"] += len(requests)
+        self.stats["batches"] += 1
+        self.stats["store_ops"] += plan.store_ops
+        self.stats["coalesced_reads"] += plan.coalesced_reads
+        self.stats["coalesced_writes"] += plan.coalesced_writes
+        self.stats["busy_cycles"] += finish - arrival
+        return plan
+
+    def _resolve(self, requests, plan, loaded, commit_errors, arrival, finish):
+        """Acknowledge every request per its planned outcome.
+
+        Acknowledgement happens only here — after every store mutation of
+        the batch returned, i.e. after each is individually durable — so
+        a crash anywhere earlier leaves the whole batch unacknowledged.
+        """
+        for request, outcome in zip(requests, plan.outcomes):
+            request.arrival_cycle = arrival
+            request.finish_cycle = finish
+            kind = outcome[0]
+            if kind == "load":
+                value = loaded[outcome[1]]
+                if value is None:
+                    request.fail(KeyError(request.key))
+                else:
+                    request.resolve(value)
+            elif kind == "value":
+                request.resolve(outcome[1])
+            elif kind == "missing":
+                request.fail(KeyError(request.key))
+            else:  # "ack"
+                error = commit_errors.get(request.key)
+                if error is not None:
+                    request.fail(error)
+                else:
+                    request.resolve(None)
+
+    # ------------------------------------------------------------------
+    # thread mode
+    # ------------------------------------------------------------------
+
+    def run_loop(
+        self,
+        inbox: "queue_module.Queue",
+        batch_max: int = 16,
+        stop: Optional[threading.Event] = None,
+        poll_s: float = 0.05,
+    ) -> None:
+        """Drain ``inbox`` in batches until SHUTDOWN, a stop, or a crash.
+
+        The batch window is opportunistic: block for the first request,
+        then take whatever else is already queued (up to ``batch_max``)
+        without waiting — latency is never traded for batching.
+        """
+        while stop is None or not stop.is_set():
+            try:
+                first = inbox.get(timeout=poll_s)
+            except queue_module.Empty:
+                continue
+            if first is SHUTDOWN:
+                return
+            batch = [first]
+            while len(batch) < batch_max:
+                try:
+                    request = inbox.get_nowait()
+                except queue_module.Empty:
+                    break
+                if request is SHUTDOWN:
+                    inbox.put(SHUTDOWN)  # preserve shutdown for the outer loop
+                    break
+                batch.append(request)
+            try:
+                self.execute_batch(batch)
+            except ServiceCrashedError:
+                return  # worker is down until the service recovers it
+
+    # ------------------------------------------------------------------
+    # crash plumbing
+    # ------------------------------------------------------------------
+
+    def power_fail(self) -> None:
+        """Cut power to this shard: volatile state gone, ADR drains WPQs."""
+        if not self.crashed:
+            self.stats["crashes"] += 1
+        self.crashed = True
+        self.store.crash()
+
+    def recover(self) -> bool:
+        """Rebuild engine + store state from the persistent image.
+
+        Delegates to the store's recovery (controller ``recover()`` plus
+        allocator rebuild, which also reclaims chunks orphaned by an
+        interrupted batch).  Returns False — and leaves the worker down —
+        if the variant cannot recover.
+        """
+        recovered = self.store.recover()
+        if recovered:
+            self.crashed = False
+            self.stats["recoveries"] += 1
+        return recovered
+
+    def power_cycle(self) -> RecoveryReport:
+        """Crash + recover in one step (single-shard convenience)."""
+        if not self.crashed:
+            self.stats["crashes"] += 1
+        self.crashed = True
+        report = crash_and_recover(self.controller)
+        if report.recovered:
+            self.store.settle()
+            self.crashed = False
+            self.stats["recoveries"] += 1
+        return report
+
+    def close(self) -> int:
+        """Settle and close the shard's store; returns reclaimed blocks."""
+        return self.store.close()

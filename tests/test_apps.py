@@ -218,3 +218,73 @@ class TestQueue:
         e2 = queue.enqueue(b"b")
         assert e2 > e1
         assert queue.epoch == e2
+
+
+class TestKVStoreLifecycle:
+    def test_create_builds_variant_by_name(self):
+        store = ObliviousKVStore.create(
+            "ps", small_config(height=6, seed=21), directory_buckets=16
+        )
+        store.put("k", b"v")
+        assert store.get("k") == b"v"
+        assert store.controller.supports_crash_consistency()
+
+    def test_close_is_idempotent_and_guards_ops(self):
+        from repro.apps.kvstore import StoreClosedError
+
+        store = _store(height=6, buckets=16)
+        store.put("k", b"v")
+        assert store.close() == 0
+        assert store.closed
+        assert store.close() == 0  # second close is a no-op
+        for operation in (
+            lambda: store.put("k", b"v2"),
+            lambda: store.get("k"),
+            lambda: store.delete("k"),
+            lambda: store.settle(),
+        ):
+            with pytest.raises(StoreClosedError):
+                operation()
+
+    def test_recover_reopens_closed_store(self):
+        store = _store(height=6, buckets=16)
+        store.put("k", b"v")
+        store.close()
+        store.crash()
+        assert store.recover()
+        assert not store.closed
+        assert store.get("k") == b"v"
+
+    def test_settle_reclaims_orphans_of_failed_put(self):
+        # A put that fails after writing chunks (here: directory bucket
+        # full) leaks its freshly allocated blocks in the volatile
+        # allocator; settle() re-scans the durable directory and gets
+        # them back.
+        store = _store(height=6, buckets=4)
+        colliding = [
+            key for key in (f"key-{i}" for i in range(4000))
+            if store._bucket_of(key) == 0
+        ][:5]
+        assert len(colliding) == 5
+        for key in colliding[:4]:
+            store.put(key, b"x")
+        free_before = store.free_blocks
+        with pytest.raises(StoreFullError):
+            store.put(colliding[4], b"orphaned value")
+        assert store.free_blocks < free_before  # blocks leaked
+        assert store.settle() >= 1
+        assert store.free_blocks == free_before
+
+    def test_exhausted_pool_raises_store_full_not_index_error(self):
+        store = _store(height=4, buckets=4)
+        with pytest.raises(StoreFullError) as excinfo:
+            for i in range(10_000):
+                store.put(f"fill-{i}", b"x" * 200)
+        assert "full" in str(excinfo.value) or "out of data blocks" in str(
+            excinfo.value
+        )
+
+    def test_allocator_rejects_nonpositive_count(self):
+        store = _store(height=6, buckets=16)
+        with pytest.raises(ValueError):
+            store._allocate(0)
