@@ -5,7 +5,10 @@ to Baseline): FullNVM +90.54%, FullNVM(STT) +37.69%, Naive-PS-ORAM +73.92%,
 PS-ORAM +4.29%.
 
 Runnable standalone: ``python benchmarks/bench_fig5a_performance.py
-[--full] [--jobs N] [--no-cache]``.
+[--full] [--jobs N] [--no-cache] [--window N]``.  ``--window`` runs every
+variant behind the memory-level-parallel access window
+(docs/SCHEDULER.md); logical behaviour is unchanged, only cycle counts
+drop.
 """
 
 from repro.bench.harness import BENCH_WORKLOADS, format_table, parse_bench_args, sweep
@@ -58,7 +61,9 @@ def test_fig5a_normalized_performance(benchmark):
 
 def main(argv=None) -> int:
     args = parse_bench_args(__doc__, argv)
-    results = sweep(NON_RECURSIVE_VARIANTS, args.workloads)
+    if args.window > 1:
+        print(f"scheduler window: {args.window}")
+    results = sweep(NON_RECURSIVE_VARIANTS, args.workloads, config=args.config)
     _report(results, args.workloads)
     return 0
 

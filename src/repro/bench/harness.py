@@ -196,9 +196,11 @@ def parse_bench_args(
 ) -> argparse.Namespace:
     """Shared CLI for the ``benchmarks/bench_*.py`` module mains.
 
-    Provides ``--full``, ``--jobs`` and ``--no-cache``, resolves the
-    workload list, and installs the execution defaults so the bench's
-    ``sweep()`` calls pick them up.
+    Provides ``--full``, ``--jobs``, ``--no-cache`` and ``--window``,
+    resolves the workload list, installs the execution defaults so the
+    bench's ``sweep()`` calls pick them up, and sets ``args.config`` to
+    the bench config with the requested scheduler window (depth 1 — the
+    default — is the serial pipeline; see docs/SCHEDULER.md).
     """
     parser = argparse.ArgumentParser(
         description=description,
@@ -210,14 +212,35 @@ def parse_bench_args(
                         help="run sweep points on N worker processes")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the on-disk result cache")
+    parser.add_argument("--window", type=int, default=1, metavar="N",
+                        help="memory-level-parallel access window depth "
+                             "(1 = serial pipeline; default: %(default)s)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.window < 1:
+        parser.error(f"--window must be >= 1, got {args.window}")
     args.workloads = list(FULL_WORKLOADS if args.full else BENCH_WORKLOADS)
+    args.config = windowed_config(BENCH_CONFIG, args.window)
     set_execution_defaults(
         jobs=args.jobs, use_cache=False if args.no_cache else None
     )
     return args
+
+
+def windowed_config(config: SystemConfig, window: int) -> SystemConfig:
+    """``config`` with ``sched_window`` set (unchanged object for depth 1).
+
+    The runner (:func:`repro.sim.runner.run_experiment`) wraps the built
+    controller in a :class:`repro.engine.sched.WindowScheduler` whenever
+    ``config.sched_window > 1``, so threading the window through the
+    config is all a bench needs to run scheduled.
+    """
+    import dataclasses
+
+    if window == config.sched_window:
+        return config
+    return dataclasses.replace(config, sched_window=window)
 
 
 def format_table(

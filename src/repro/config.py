@@ -254,6 +254,9 @@ class SystemConfig:
     channels: int = 1
     banks_per_channel: int = 8
     seed: int = 1
+    # In-flight access window depth for the memory-level-parallel
+    # scheduler (repro.engine.sched); 1 = today's serial pipeline.
+    sched_window: int = 1
 
     def validate(self) -> None:
         """Check every sub-config and cross-config constraints."""
@@ -270,6 +273,8 @@ class SystemConfig:
             raise ConfigError(f"channel count must be >= 1, got {self.channels}")
         if self.banks_per_channel < 1:
             raise ConfigError(f"banks per channel must be >= 1, got {self.banks_per_channel}")
+        if self.sched_window < 1:
+            raise ConfigError(f"scheduler window must be >= 1, got {self.sched_window}")
         if self.oram.tree_bytes > self.nvm.capacity_bytes:
             raise ConfigError(
                 f"ORAM tree ({self.oram.tree_bytes} bytes) does not fit in NVM "
@@ -299,6 +304,7 @@ def small_config(
     recursion_levels: int = 0,
     stash_capacity: Optional[int] = None,
     wpq: Optional[WPQConfig] = None,
+    sched_window: int = 1,
 ) -> SystemConfig:
     """A laptop-scale configuration for tests, examples and benches.
 
@@ -321,6 +327,7 @@ def small_config(
         channels=channels,
         seed=seed,
         wpq=wpq if wpq is not None else WPQConfig(),
+        sched_window=sched_window,
     )
     cfg.validate()
     return cfg

@@ -113,27 +113,31 @@ class Drainer:
         one non-coalesced line write each (the paper's persistency model).
         """
         self._record_version()
-        access = self.memory.issue
         finish = start_mem_cycle
-        for line_address, wire in self.data_wpq.drain():
-            request = access(
-                line_address, Access.WRITE, start_mem_cycle,
-                RequestKind.DATA_PATH, data=wire,
+        data = list(self.data_wpq.drain())
+        if data:
+            finish = self.memory.issue_path(
+                [line_address for line_address, _ in data],
+                Access.WRITE,
+                start_mem_cycle,
+                RequestKind.DATA_PATH,
+                datas=[wire for _, wire in data],
             )
-            complete = request.complete_cycle
-            if complete is not None and complete > finish:
-                finish = complete
-        for line_address, (address, path_id) in self.posmap_wpq.drain():
-            if address >= 0:
-                self._apply_posmap_entry(address, path_id)
-            # address < 0: a padding entry (Naive-PS-ORAM writes one line
-            # per path slot regardless of content) — timed write only.
-            request = access(
-                line_address, Access.WRITE, start_mem_cycle, posmap_kind
+        entries = list(self.posmap_wpq.drain())
+        if entries:
+            for _, (address, path_id) in entries:
+                if address >= 0:
+                    self._apply_posmap_entry(address, path_id)
+                # address < 0: a padding entry (Naive-PS-ORAM writes one
+                # line per path slot regardless of content) — timed only.
+            entry_finish = self.memory.issue_path(
+                [line_address for line_address, _ in entries],
+                Access.WRITE,
+                start_mem_cycle,
+                posmap_kind,
             )
-            complete = request.complete_cycle
-            if complete is not None and complete > finish:
-                finish = complete
+            if entry_finish > finish:
+                finish = entry_finish
         return finish
 
     # -- crash -------------------------------------------------------------------

@@ -108,10 +108,20 @@ class CellResult:
         return cls(**payload)
 
 
-def _build_system(variant: str, height: int, wpq: str, config_seed: int):
+def _build_system(variant: str, height: int, wpq: str, config_seed: int,
+                  window: int = 1):
+    """Build one cell's system; ``window > 1`` puts the controller behind
+    the memory-level-parallel access window (docs/SCHEDULER.md).  The
+    scheduler drains to a barrier on every crash, so the conformance
+    contract is unchanged — this exercises exactly that property."""
     config = small_config(height=height, seed=config_seed,
-                          wpq=WPQ_CONFIGS[wpq])
-    return config, get_spec(variant).make(config)
+                          wpq=WPQ_CONFIGS[wpq], sched_window=window)
+    controller = get_spec(variant).make(config)
+    if window > 1:
+        from repro.engine.sched import wrap_controller
+
+        controller = wrap_controller(controller, window)
+    return config, controller
 
 
 def _workload_span(config) -> int:
@@ -128,6 +138,7 @@ def run_cell(
     ops_between_crashes: int = 8,
     differential: bool = True,
     record_trace: bool = True,
+    window: int = 1,
 ) -> CellResult:
     """Run one conformance cell; see the module docstring for the contract.
 
@@ -143,7 +154,7 @@ def run_cell(
     ops_rng = cell_rng.substream("ops")
     inject_rng = cell_rng.substream("inject")
 
-    config, controller = _build_system(variant, height, wpq, seed)
+    config, controller = _build_system(variant, height, wpq, seed, window)
     result = CellResult(variant=variant, point=point, wpq=wpq, rounds=rounds,
                         seed=seed, height=height,
                         supports=controller.supports_crash_consistency())
@@ -248,7 +259,7 @@ def run_cell(
                     f"{prefix}: volatile variant claims successful recovery")
                 break
             # Honest failure is conformant; the system restarts empty.
-            config, controller = _build_system(variant, height, wpq, seed)
+            config, controller = _build_system(variant, height, wpq, seed, window)
             checker = ConsistencyChecker(controller)
             reference = ReferenceController(span, config.oram.block_bytes)
             injector = CrashInjector(controller, inject_rng)

@@ -50,6 +50,7 @@ class MatrixPoint:
     rounds: int
     seed: int  #: per-cell seed (already derived from the campaign seed)
     height: int
+    window: int = 1  #: scheduler window depth (1 = serial pipeline)
 
     @property
     def workload(self) -> str:
@@ -72,6 +73,7 @@ class MatrixPoint:
                 "rounds": self.rounds,
                 "seed": self.seed,
                 "variant": self.variant,
+                "window": self.window,
                 "wpq": self.wpq,
             },
             sort_keys=True,
@@ -100,6 +102,7 @@ def plan_matrix(
     seed: int = 1,
     height: int = 6,
     points: Optional[Sequence[str]] = None,
+    window: int = 1,
 ) -> List[MatrixPoint]:
     """Enumerate the full campaign matrix.
 
@@ -124,6 +127,7 @@ def plan_matrix(
                 plan.append(MatrixPoint(
                     variant=name, point=label, wpq=wpq, rounds=rounds,
                     seed=cell_seed(seed, name, label, wpq), height=height,
+                    window=window,
                 ))
     return plan
 
@@ -133,6 +137,7 @@ def execute_matrix_cell(point: MatrixPoint) -> CellResult:
     return run_cell(
         point.variant, point=point.point, wpq=point.wpq,
         rounds=point.rounds, seed=point.seed, height=point.height,
+        window=point.window,
     )
 
 
@@ -273,6 +278,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=1,
                         help="campaign seed; cells derive their own")
     parser.add_argument("--height", type=int, default=6)
+    parser.add_argument("--window", type=int, default=1,
+                        help="scheduler window depth (docs/SCHEDULER.md); "
+                             "1 = serial pipeline (default)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (default serial)")
     parser.add_argument("--variants", default=None,
@@ -297,18 +305,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"unknown variants: {', '.join(unknown)}")
     wpqs = [args.wpq] if args.wpq else None
 
+    if args.window < 1:
+        parser.error("--window must be >= 1")
     plan = plan_matrix(variants=variants, wpqs=wpqs, rounds=args.rounds,
-                       seed=args.seed, height=args.height)
+                       seed=args.seed, height=args.height,
+                       window=args.window)
     cache = None if args.no_cache else matrix_cache(
         Path(args.cache_dir) if args.cache_dir else None)
     journal = RunJournal(args.journal) if args.journal else None
 
     print(f"matrix: {len(plan)} cells "
           f"({len(set(p.variant for p in plan))} variants, "
-          f"rounds={args.rounds}, jobs={args.jobs})")
+          f"rounds={args.rounds}, jobs={args.jobs}, window={args.window})")
     if journal is not None:
         journal.emit("matrix_started", cells=len(plan), rounds=args.rounds,
-                     seed=args.seed, height=args.height)
+                     seed=args.seed, height=args.height, window=args.window)
     outcomes = run_matrix(plan, jobs=args.jobs, cache=cache, journal=journal)
     print(summarize_matrix(outcomes))
 

@@ -60,6 +60,61 @@ class CtrCipher:
             int.from_bytes(body, "little") ^ int.from_bytes(stream, "little")
         ).to_bytes(length, "little")
 
+    def encrypt_batch(self, plaintexts, ivs):
+        """Encrypt many same-length units in one pass.
+
+        Byte-identical to ``[self.encrypt(p, iv) for p, iv in zip(...)]``;
+        the keystreams for the whole batch come from one
+        :meth:`Prf.keystream_many` walk and the XOR/MAC loop is tight.
+        Every plaintext must have the same length (a path's headers, or a
+        path's payloads — the two batched codec passes).
+        """
+        if not plaintexts:
+            return []
+        length = len(plaintexts[0])
+        nonces = [iv.to_bytes(16, "little", signed=False) for iv in ivs]
+        streams = self._enc_prf.keystream_many(nonces, length)
+        mac_evaluate = self._mac_prf.evaluate
+        mac_bytes = self.MAC_BYTES
+        from_bytes = int.from_bytes
+        out = []
+        append = out.append
+        for plaintext, nonce, stream in zip(plaintexts, nonces, streams):
+            body = (
+                from_bytes(plaintext, "little") ^ from_bytes(stream, "little")
+            ).to_bytes(length, "little")
+            append(body + mac_evaluate(nonce + body)[:mac_bytes])
+        return out
+
+    def decrypt_batch(self, ciphertexts, ivs):
+        """Decrypt + verify many same-length units in one pass.
+
+        Byte-identical to the per-unit :meth:`decrypt` loop, including the
+        :class:`IntegrityError` on the first MAC mismatch.
+        """
+        if not ciphertexts:
+            return []
+        mac_bytes = self.MAC_BYTES
+        body_len = len(ciphertexts[0]) - mac_bytes
+        if body_len < 0:
+            raise IntegrityError("ciphertext shorter than MAC tag")
+        nonces = [iv.to_bytes(16, "little", signed=False) for iv in ivs]
+        streams = self._enc_prf.keystream_many(nonces, body_len)
+        mac_evaluate = self._mac_prf.evaluate
+        from_bytes = int.from_bytes
+        out = []
+        append = out.append
+        for ciphertext, iv, nonce, stream in zip(ciphertexts, ivs, nonces, streams):
+            body = ciphertext[:body_len]
+            if ciphertext[body_len:] != mac_evaluate(nonce + body)[:mac_bytes]:
+                raise IntegrityError(f"MAC mismatch for iv={iv}")
+            append(
+                (from_bytes(body, "little") ^ from_bytes(stream, "little")).to_bytes(
+                    body_len, "little"
+                )
+            )
+        return out
+
     def ciphertext_length(self, plaintext_length: int) -> int:
         """Length of the ciphertext for a plaintext of the given length."""
         return plaintext_length + self.MAC_BYTES

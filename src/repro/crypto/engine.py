@@ -50,6 +50,33 @@ class CryptoEngine:
         self._decrypt_bytes.add(len(ciphertext))
         return self._cipher.decrypt(ciphertext, iv)
 
+    def encrypt_batch(self, plaintexts, ivs):
+        """Encrypt a batch of same-length units; counts match the loop."""
+        n = len(plaintexts)
+        if n:
+            self._encrypt_ops.add(n)
+            self._encrypt_bytes.add(n * len(plaintexts[0]))
+        return self._cipher.encrypt_batch(plaintexts, ivs)
+
+    def decrypt_batch(self, ciphertexts, ivs):
+        """Decrypt a batch of same-length units; counts match the loop."""
+        n = len(ciphertexts)
+        if n:
+            self._decrypt_ops.add(n)
+            self._decrypt_bytes.add(n * len(ciphertexts[0]))
+        return self._cipher.decrypt_batch(ciphertexts, ivs)
+
+    def count_decrypt(self, units: int, nbytes: int) -> None:
+        """Account decrypts answered from a plaintext memo.
+
+        The codec's decode memo returns remembered plaintext for a wire it
+        produced itself (byte-equality checked), skipping the keystream
+        walk.  The modeled hardware still performs the decrypt, so the
+        counters must advance exactly as if :meth:`decrypt` had run.
+        """
+        self._decrypt_ops.add(units)
+        self._decrypt_bytes.add(nbytes)
+
     def batch_latency_cycles(self, num_blocks: int) -> int:
         """Core cycles to push ``num_blocks`` through the AES pipeline.
 

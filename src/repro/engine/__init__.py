@@ -18,6 +18,7 @@
 
 from repro.engine.base import PIPELINE_PHASES, AccessEngine, AccessResult
 from repro.engine.policy import PersistencePolicy, VolatilePolicy
+from repro.engine.sched import WindowScheduler, wrap_controller
 
 __all__ = [
     "PIPELINE_PHASES",
@@ -25,4 +26,6 @@ __all__ = [
     "AccessResult",
     "PersistencePolicy",
     "VolatilePolicy",
+    "WindowScheduler",
+    "wrap_controller",
 ]

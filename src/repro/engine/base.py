@@ -89,6 +89,15 @@ class AccessResult:
     new_path: int
     start_cycle: int
     finish_cycle: int
+    #: Core cycle at which the path fetch (phase 3) completed; the window
+    #: scheduler overlaps the next access's fetch with everything after
+    #: this point.  Equals ``finish_cycle`` for stash-hit short circuits.
+    fetch_finish_cycle: int = -1
+    #: Per-channel ``next_free_cycle`` (memory-domain) snapshot taken as
+    #: the fetch completed — the scheduler's interleaving signal: a
+    #: disjoint younger access may start as soon as the earliest channel
+    #: freed, even before the full fetch finished on the others.
+    fetch_channel_free: tuple = ()
 
     @property
     def latency_core_cycles(self) -> int:
@@ -169,6 +178,8 @@ class AccessEngine:
 
         self._checkpoint("phase:fetch")
         fetched = self._fetch_blocks(address, old_path)
+        fetch_finish = self.now
+        fetch_channel_free = tuple(self.memory.next_free_cycles())
 
         self._checkpoint("phase:absorb")
         target = self._absorb_fetched(fetched, address, old_path, new_path)
@@ -190,6 +201,8 @@ class AccessEngine:
             new_path=new_path,
             start_cycle=start,
             finish_cycle=self.now,
+            fetch_finish_cycle=fetch_finish,
+            fetch_channel_free=fetch_channel_free,
         )
 
     # ------------------------------------------------------------------
@@ -232,6 +245,7 @@ class AccessEngine:
             new_path=entry.block.path_id,
             start_cycle=start,
             finish_cycle=self.now,
+            fetch_finish_cycle=self.now,
         )
 
     def _count_access(self, is_write: bool) -> None:

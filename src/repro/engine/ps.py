@@ -338,30 +338,31 @@ class DirtyEntryPSPolicy(PersistencePolicy):
         """
         c = self.c
         entry_by_block = {id(entry.block): entry for entry in placed}
-        writes: List[SlotWrite] = []
         z = c.tree.z
-        encode = c.codec.encode
-        round_ = c._round
         dummy = Block.dummy_template(c.codec.block_bytes)
-        addresses = c.tree.path_addresses(path_id)
-        cursor = 0
+        blocks: List[Block] = []
         for level_blocks in assignment:
-            for slot in range(z):
-                block = level_blocks[slot] if slot < len(level_blocks) else dummy
-                line_address = addresses[cursor]
-                cursor += 1
-                entry = entry_by_block.get(id(block))
-                old_line = None
-                entry_key = None
-                is_backup_write = False
-                if entry is not None and not block.is_dummy:
-                    entry_key = block.address
-                    is_backup_write = entry.is_backup
-                    if entry.fetch_round == round_:
-                        old_line = entry.source_line
-                writes.append(SlotWrite(line_address, encode(block),
-                                        old_line=old_line, entry_key=entry_key,
-                                        is_backup_write=is_backup_write))
+            blocks.extend(level_blocks[:z])
+            blocks.extend(dummy for _ in range(z - len(level_blocks)))
+        # One batched codec pass over the whole path (same IV order as the
+        # former per-slot encode loop, so the wires are byte-identical).
+        wires = c.codec.encode_path(blocks)
+        round_ = c._round
+        addresses = c.tree.path_addresses(path_id)
+        writes: List[SlotWrite] = []
+        for cursor, block in enumerate(blocks):
+            entry = entry_by_block.get(id(block))
+            old_line = None
+            entry_key = None
+            is_backup_write = False
+            if entry is not None and not block.is_dummy:
+                entry_key = block.address
+                is_backup_write = entry.is_backup
+                if entry.fetch_round == round_:
+                    old_line = entry.source_line
+            writes.append(SlotWrite(addresses[cursor], wires[cursor],
+                                    old_line=old_line, entry_key=entry_key,
+                                    is_backup_write=is_backup_write))
         return writes
 
     def _dirty_entries_for(

@@ -10,7 +10,7 @@ one PosMap mode (flat on-chip vs recursive) — registered here by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,20 @@ def get_spec(name: str) -> VariantSpec:
 def build_variant(name: str, config, **kwargs):
     """Instantiate the named variant's controller for ``config``."""
     return get_spec(name).make(config, **kwargs)
+
+
+def build_scheduled(name: str, config, window: Optional[int] = None, **kwargs):
+    """Build a variant behind the memory-level-parallel access window.
+
+    ``window`` overrides ``config.sched_window``; depth 1 returns the
+    bare controller (zero wrapper overhead, timing-identical to the
+    serial pipeline).
+    """
+    from repro.engine.sched import wrap_controller  # lazy: avoid cycle
+
+    controller = get_spec(name).make(config, **kwargs)
+    depth = getattr(config, "sched_window", 1) if window is None else window
+    return wrap_controller(controller, depth)
 
 
 def variant_specs() -> List[VariantSpec]:

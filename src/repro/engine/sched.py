@@ -1,0 +1,323 @@
+"""Memory-level-parallel access window over the phase pipeline.
+
+`repro.mem` models independent channels and banks, yet the serial
+pipeline in :mod:`repro.engine.base` keeps at most one access in
+*flight* at a time: the fetch of access *i+1* is timestamped after the
+full protocol latency of access *i* (decrypt, eviction planning,
+re-encrypt, commit), even when the two paths are disjoint and the NVM
+has idle banks.  Palermo-style protocol/hardware co-design (PAPERS.md)
+shows that overlapping consecutive ORAM accesses across channels is
+where the big multi-channel wins are.
+
+:class:`WindowScheduler` adds that overlap without touching logical
+state.  It keeps a sliding window of up to ``window`` accesses that are
+*architecturally complete but timing-wise in flight* (their write-back
+still occupies bank/bus calendars), and starts the next access at the
+earliest cycle its hazards allow:
+
+* **same-address hazard** — a younger access to the address of an older
+  in-flight access serializes behind that access's full completion;
+* **path-overlap hazard** — two paths that share a bucket *below* the
+  controller-cached top levels contend for the same lines, so the
+  younger access serializes too (every pair of paths shares the root;
+  the top ``top_cached_levels`` levels are assumed held in the
+  controller's bucket buffer, mirroring the PLB-style top cache);
+* **window retirement** — an access that falls out of the window is a
+  hard floor: nothing younger may start before its write-back end, which
+  bounds how deep the overlap can run;
+* **disjoint paths** — no scheduler barrier at all.  Physical
+  serialization is the memory model's job: the window enables the
+  memory's interval (gap-fill) scheduling mode
+  (:meth:`repro.mem.controller.NVMMainMemory.enable_overlap`), where
+  front-end dispatch, every bank, and every data bus keep their full
+  per-request occupancy but serve requests by *arrival time* instead of
+  by Python call order — a younger fetch's lines land in the idle gaps
+  under an older access's still-queued write-back, interleaving across
+  channels exactly as the per-channel ``next_free_cycle`` queries
+  report.
+
+Execution stays *functionally serial*: each access runs to completion
+through the unmodified pipeline before the next begins, so stash,
+PosMap, and NVM image are byte-identical to window 1 — only the cycle
+each access is launched at changes.  The interval calendars make the
+early launch sound: a request arriving while a resource is busy still
+waits its turn, and in-order (monotone-arrival) traffic is
+cycle-identical to the watermark model, which is why every window-1
+timing digest is unchanged.
+
+Crash semantics are preserved by the same property.  Every crash point
+fires inside one access's serial execution, when all older accesses
+have fully committed their persist rounds — equivalent to draining the
+window to a barrier before each policy persist-commit checkpoint.
+:meth:`WindowScheduler.drain` makes the barrier explicit for external
+checkpoints (service snapshots, crash/recover).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.engine.base import AccessResult
+
+
+class _Inflight:
+    """Timing record of one architecturally-complete in-flight access."""
+
+    __slots__ = ("address", "path", "fetch_finish", "finish", "channel_free")
+
+    def __init__(
+        self,
+        address: int,
+        path: int,
+        fetch_finish: int,
+        finish: int,
+        channel_free: tuple,
+    ):
+        self.address = address
+        self.path = path
+        self.fetch_finish = fetch_finish
+        self.finish = finish
+        self.channel_free = channel_free
+
+
+class WindowScheduler:
+    """In-flight access window in front of an :class:`AccessEngine`.
+
+    Wraps a controller and exposes its full surface (attribute access is
+    delegated), intercepting only the access entry points.  ``window=1``
+    is a strict pass-through — bit-for-bit the serial pipeline, including
+    every timing digest.
+    """
+
+    #: Tree levels assumed resident in the controller's bucket buffer;
+    #: paths that diverge within these levels do not conflict.  Every
+    #: pair of paths shares the root, so without a top cache the
+    #: path-overlap hazard would serialize all traffic.
+    TOP_CACHED_LEVELS = 2
+
+    _OWN_ATTRS = frozenset(
+        {
+            "controller",
+            "window",
+            "top_cached_levels",
+            "_inflight",
+            "_horizon",
+            "_ready",
+            "_floor",
+            "_height",
+            "_c_overlapped",
+            "_c_hazard_addr",
+            "_c_hazard_path",
+        }
+    )
+
+    def __init__(self, controller, window: int = 4, top_cached_levels: Optional[int] = None):
+        if window < 1:
+            raise ValueError(f"scheduler window must be >= 1, got {window}")
+        self.controller = controller
+        self.window = window
+        self.top_cached_levels = (
+            self.TOP_CACHED_LEVELS if top_cached_levels is None else top_cached_levels
+        )
+        self._inflight: deque = deque()
+        self._horizon = controller.now
+        # The cycle the engine frontend next accepts a request (the
+        # previous access's start plus one on-chip lookup).
+        self._ready = controller.now
+        # Hard barrier: no access may start before this (window-retired
+        # accesses and explicit drains land here).
+        self._floor = controller.now
+        tree = getattr(controller, "tree", None)
+        store = getattr(controller, "store", None)
+        if tree is not None:
+            self._height = tree.height
+        elif store is not None:
+            self._height = store.height
+        else:
+            # No tree (plain/strawman hierarchies): every pair of
+            # "paths" conflicts, i.e. accesses serialize.
+            self._height = 0
+        stats = controller.stats
+        self._c_overlapped = stats.counter("sched_overlapped")
+        self._c_hazard_addr = stats.counter("sched_hazard_same_address")
+        self._c_hazard_path = stats.counter("sched_hazard_path_overlap")
+        if window > 1:
+            # Interval (gap-fill) bank/bus scheduling: cycle-identical
+            # for in-order traffic, but lets a rewound younger fetch use
+            # bank/bus idle gaps under an older write-back.
+            enable = getattr(getattr(controller, "memory", None), "enable_overlap", None)
+            if enable is not None:
+                enable()
+
+    # -- delegation ---------------------------------------------------------
+
+    def __getattr__(self, name):
+        return getattr(self.controller, name)
+
+    def __setattr__(self, name, value):
+        if name in self._OWN_ATTRS:
+            object.__setattr__(self, name, value)
+        elif name == "now":
+            # Treat an external clock set as a barrier re-basing.
+            self.controller.now = value
+            object.__setattr__(self, "_horizon", value)
+            object.__setattr__(self, "_ready", value)
+            object.__setattr__(self, "_floor", value)
+            self._inflight.clear()
+        else:
+            setattr(self.controller, name, value)
+
+    @property
+    def now(self) -> int:
+        """Completion horizon: no in-flight access finishes after this."""
+        c_now = self.controller.now
+        return self._horizon if self._horizon > c_now else c_now
+
+    # -- hazard model -------------------------------------------------------
+
+    def _paths_conflict(self, a: int, b: int) -> bool:
+        """Whether two paths share a bucket below the cached top levels."""
+        if a == b:
+            return True
+        shared_levels = self._height - (a ^ b).bit_length()
+        return shared_levels >= self.top_cached_levels
+
+    def _peek_path(self, address: int) -> Optional[int]:
+        """Read-only view of the path the next access will fetch."""
+        try:
+            return self.controller._position_of(address)
+        except Exception:
+            return None  # out-of-range address: let access() raise properly
+
+    # -- access entry points ------------------------------------------------
+
+    def access(
+        self,
+        address: int,
+        is_write: bool = False,
+        data: Optional[bytes] = None,
+        start_cycle: Optional[int] = None,
+        mutator=None,
+    ) -> AccessResult:
+        c = self.controller
+        if self.window <= 1:
+            return c.access(
+                address, is_write, data=data, start_cycle=start_cycle, mutator=mutator
+            )
+        # Retire accesses that no longer fit the window: the window bounds
+        # how deep the overlap may run, so a retired access's write-back
+        # end becomes a hard floor for everything younger.
+        while len(self._inflight) >= self.window:
+            retired = self._inflight.popleft()
+            if retired.finish > self._floor:
+                self._floor = retired.finish
+        # Arrival: an explicit start_cycle wins; otherwise the engine
+        # frontend accepts a new request as soon as the previous one has
+        # cleared position lookup — MLP is then bounded only by the
+        # window depth, the hazard barriers below, and (physically) the
+        # memory model's dispatch/bank/bus watermarks.
+        arrival = self._ready if start_cycle is None else start_cycle
+        if arrival < self._floor:
+            arrival = self._floor
+        start = arrival
+        path = self._peek_path(address)
+        for rec in self._inflight:
+            if rec.address == address:
+                barrier = rec.finish
+                self._c_hazard_addr.add()
+            elif path is None or self._paths_conflict(rec.path, path):
+                # Unknown path (non-tree hierarchy): stay conservative
+                # and serialize behind the older access.
+                barrier = rec.finish
+                self._c_hazard_path.add()
+            else:
+                # Disjoint paths: no protocol-level ordering is needed,
+                # so the scheduler imposes no barrier.  Physical
+                # serialization is the memory model's job — the in-order
+                # dispatch watermark (one command stream), and the bank/
+                # bus interval calendars where the younger access's lines
+                # interleave with the older write-back's idle gaps.  When
+                # the fetch split is unreported (no timing decomposition
+                # to overlap with), stay fully serial.
+                if rec.fetch_finish < 0:
+                    barrier = rec.finish
+                else:
+                    continue
+            if barrier > start:
+                start = barrier
+        if start < c.now:
+            # Launch under the older accesses' write-back: rewind the
+            # engine clock to the overlapped start.  The memory model's
+            # interval calendars keep every line access sound — a line
+            # arriving while its bank/bus is occupied still waits.
+            c.now = start
+            self._c_overlapped.add()
+        result = c.access(
+            address, is_write, data=data, start_cycle=start, mutator=mutator
+        )
+        if result.finish_cycle > self._horizon:
+            self._horizon = result.finish_cycle
+        # The frontend is busy for one on-chip lookup; afterwards the
+        # next request may enter (hazards permitting).
+        self._ready = result.start_cycle + getattr(c, "ONCHIP_LOOKUP_CYCLES", 0)
+        self._inflight.append(
+            _Inflight(
+                address,
+                result.old_path,
+                result.fetch_finish_cycle,
+                result.finish_cycle,
+                result.fetch_channel_free,
+            )
+        )
+        return result
+
+    def read(self, address: int, start_cycle: Optional[int] = None) -> AccessResult:
+        return self.access(address, is_write=False, start_cycle=start_cycle)
+
+    def write(
+        self, address: int, data: bytes, start_cycle: Optional[int] = None
+    ) -> AccessResult:
+        return self.access(address, is_write=True, data=data, start_cycle=start_cycle)
+
+    def read_modify_write(
+        self, address: int, mutator, start_cycle: Optional[int] = None
+    ) -> AccessResult:
+        return self.access(address, is_write=True, mutator=mutator, start_cycle=start_cycle)
+
+    # -- barriers -----------------------------------------------------------
+
+    def drain(self) -> int:
+        """Barrier: advance the clock past every in-flight write-back.
+
+        Returns the barrier cycle.  After ``drain`` the machine state is
+        exactly the serial pipeline's: clock at the completion horizon,
+        no overlap credit left for the next access.
+        """
+        c = self.controller
+        if self._horizon > c.now:
+            c.now = self._horizon
+        self._inflight.clear()
+        self._ready = c.now
+        self._floor = c.now
+        return c.now
+
+    def crash(self) -> None:
+        """Power loss: drain the window to the barrier first."""
+        self.drain()
+        self.controller.crash()
+
+    def recover(self) -> bool:
+        self.drain()
+        return self.controller.recover()
+
+
+def wrap_controller(controller, window: int, top_cached_levels: Optional[int] = None):
+    """Wrap ``controller`` in a :class:`WindowScheduler` when ``window > 1``.
+
+    The window-1 case returns the controller untouched so serial setups
+    carry zero wrapper overhead (and stay object-identical for tests).
+    """
+    if window <= 1:
+        return controller
+    return WindowScheduler(controller, window, top_cached_levels)

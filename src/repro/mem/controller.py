@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.config import NVMTimingConfig
+from repro.mem.bank import MAX_BOUNDARIES, reserve_interval
 from repro.mem.channel import Channel
 from repro.mem.device import DeviceTimingModel
 from repro.mem.request import Access, MemoryRequest, RequestKind
@@ -51,6 +52,8 @@ class NVMMainMemory:
         self.traffic = TrafficMeter(line_bytes, track_wear=track_wear)
         self.energy_pj = 0.0
         self._dispatch_free_at = 0
+        self._dispatch_intervals: Optional[List[int]] = None
+        self._overlap = False
         # Functional image: line address -> bytes. Sparse, so a 4GB
         # configured capacity costs nothing until written.
         self._image: Dict[int, bytes] = {}
@@ -89,6 +92,25 @@ class NVMMainMemory:
 
     # -- timed access -----------------------------------------------------------
 
+    def enable_overlap(self) -> None:
+        """Switch dispatch, banks and buses to interval (gap-fill) scheduling.
+
+        Idempotent.  Cycle-identical for in-order traffic (monotone
+        arrivals never land before a watermark); only the window
+        scheduler's rewound arrivals can exploit the idle gaps.  Every
+        stage keeps its full occupancy (one command per
+        ``DISPATCH_CYCLES``, one burst per bus slot, one request per
+        bank), so contention still serializes — just by arrival time
+        rather than by Python call order.
+        """
+        self._overlap = True
+        if self._dispatch_intervals is None:
+            self._dispatch_intervals = (
+                [0, self._dispatch_free_at] if self._dispatch_free_at else []
+            )
+        for channel in self.channels:
+            channel.enable_overlap()
+
     def channel_for(self, address: int) -> Channel:
         """Line-interleaved channel mapping (line index modulo channels)."""
         line = address // self.line_bytes
@@ -117,9 +139,16 @@ class NVMMainMemory:
             address=address, access=access, kind=kind, size_bytes=self.line_bytes
         )
         request.issue_cycle = arrival_cycle
-        # Front-end dispatch is a shared in-order stage across channels.
-        dispatched = max(arrival_cycle, self._dispatch_free_at)
-        self._dispatch_free_at = dispatched + self.DISPATCH_CYCLES
+        # Front-end dispatch is a shared stage across channels.
+        if self._overlap:
+            dispatched = reserve_interval(
+                self._dispatch_intervals, arrival_cycle, self.DISPATCH_CYCLES
+            )
+            if dispatched + self.DISPATCH_CYCLES > self._dispatch_free_at:
+                self._dispatch_free_at = dispatched + self.DISPATCH_CYCLES
+        else:
+            dispatched = max(arrival_cycle, self._dispatch_free_at)
+            self._dispatch_free_at = dispatched + self.DISPATCH_CYCLES
         line = address // self.line_bytes
         channel = self.channels[line % len(self.channels)]
         request.complete_cycle = channel.service(
@@ -132,6 +161,156 @@ class NVMMainMemory:
             self.traffic.record_cell_flips(old or b"", data)
             self.store_line(address, data)
         return request
+
+    def issue_path(
+        self,
+        addresses: List[int],
+        access: Access,
+        arrival_cycle: int,
+        kind: RequestKind = RequestKind.DATA_PATH,
+        datas: Optional[List[Optional[bytes]]] = None,
+    ) -> int:
+        """Issue a burst of same-kind line accesses; returns the last completion.
+
+        Cycle-, counter-, and energy-identical to calling :meth:`issue` once
+        per address in order — the dispatch/bank/bus watermark math is the
+        same, just without a :class:`MemoryRequest` allocation per line.
+        This is the memory-side half of the path-batched access: one call
+        covers a whole ORAM path (or a drainer round's data burst).
+        ``datas`` (writes only) carries the functional content per line;
+        ``None`` entries are timing-only writes.
+        """
+        if "issue" in self.__dict__:
+            # An address-translation layer (start-gap wear leveling) has
+            # tapped issue() on this instance; route every line through it
+            # so the batched path sees the same physical remapping.
+            finish = arrival_cycle
+            for i, address in enumerate(addresses):
+                request = self.issue(
+                    address, access, arrival_cycle, kind,
+                    data=None if datas is None else datas[i],
+                )
+                complete = request.complete_cycle
+                if complete is not None and complete > finish:
+                    finish = complete
+            return finish
+        device = self.device
+        line_bytes = self.line_bytes
+        channels = self.channels
+        num_channels = len(channels)
+        dispatch_free = self._dispatch_free_at
+        dispatch_cycles = self.DISPATCH_CYCLES
+        burst_cycles = Channel.BURST_CYCLES
+        service_cycles = device.service_cycles(access)
+        gap_cycles = device.min_gap_cycles()
+        energy_each = device.energy_pj(access)
+        energy_acc = self.energy_pj
+        traffic = self.traffic
+        image = self._image
+        is_write = access is Access.WRITE
+        overlap = self._overlap
+        dispatch_intervals = self._dispatch_intervals
+        bank_span = service_cycles + gap_cycles
+        # Within one burst every dispatch reservation lands at or after the
+        # previous one (same arrival, earliest-gap-first), so the arrival
+        # floor may ratchet forward — that keeps the O(1) tail-append fast
+        # path hot instead of re-scanning the calendar per line.
+        dispatch_arrival = arrival_cycle
+        finish = arrival_cycle
+        write_lines: List[int] = []
+        for i, address in enumerate(addresses):
+            if overlap:
+                # Inline tail-append fast path for the three calendars
+                # (dispatch, bank, bus); reserve_interval only on genuine
+                # mid-calendar (gap-fill) insertions.  Same math as
+                # Bank.service_span / Channel.reserve_burst.
+                if not dispatch_intervals or dispatch_arrival >= dispatch_intervals[-1]:
+                    dispatched = dispatch_arrival
+                    if dispatch_intervals and dispatch_intervals[-1] == dispatched:
+                        dispatch_intervals[-1] = dispatched + dispatch_cycles
+                    else:
+                        dispatch_intervals.append(dispatched)
+                        dispatch_intervals.append(dispatched + dispatch_cycles)
+                        if len(dispatch_intervals) > MAX_BOUNDARIES:
+                            del dispatch_intervals[1:3]
+                else:
+                    dispatched = reserve_interval(
+                        dispatch_intervals, dispatch_arrival, dispatch_cycles
+                    )
+                dispatch_arrival = dispatched + dispatch_cycles
+                if dispatch_arrival > dispatch_free:
+                    dispatch_free = dispatch_arrival
+            else:
+                dispatched = arrival_cycle if arrival_cycle >= dispatch_free else dispatch_free
+                dispatch_free = dispatched + dispatch_cycles
+            line = address // line_bytes
+            channel = channels[line % num_channels]
+            local_line = line // num_channels
+            bank = channel.banks[local_line % len(channel.banks)]
+            if overlap:
+                bank_intervals = bank.intervals
+                if not bank_intervals or dispatched >= bank_intervals[-1]:
+                    bank_start = dispatched
+                    if bank_intervals and bank_intervals[-1] == bank_start:
+                        bank_intervals[-1] = bank_start + bank_span
+                    else:
+                        bank_intervals.append(bank_start)
+                        bank_intervals.append(bank_start + bank_span)
+                        if len(bank_intervals) > MAX_BOUNDARIES:
+                            del bank_intervals[1:3]
+                else:
+                    bank_start = reserve_interval(bank_intervals, dispatched, bank_span)
+                if bank_start + bank_span > bank.busy_until:
+                    bank.busy_until = bank_start + bank_span
+                bank.serviced += 1
+                bank_done = bank_start + service_cycles
+                bus_intervals = channel.bus_intervals
+                if not bus_intervals or bank_done >= bus_intervals[-1]:
+                    burst_start = bank_done
+                    if bus_intervals and bus_intervals[-1] == burst_start:
+                        bus_intervals[-1] = burst_start + burst_cycles
+                    else:
+                        bus_intervals.append(burst_start)
+                        bus_intervals.append(burst_start + burst_cycles)
+                        if len(bus_intervals) > MAX_BOUNDARIES:
+                            del bus_intervals[1:3]
+                else:
+                    burst_start = reserve_interval(bus_intervals, bank_done, burst_cycles)
+                complete = burst_start + burst_cycles
+                if complete > channel.bus_free_at:
+                    channel.bus_free_at = complete
+                channel.serviced += 1
+            else:
+                bank_start = dispatched if dispatched >= bank.busy_until else bank.busy_until
+                bank_done = bank_start + service_cycles
+                bank.busy_until = bank_done + gap_cycles
+                bank.serviced += 1
+                burst_start = bank_done if bank_done >= channel.bus_free_at else channel.bus_free_at
+                complete = burst_start + burst_cycles
+                channel.bus_free_at = complete
+                channel.serviced += 1
+            if complete > finish:
+                finish = complete
+            energy_acc += energy_each
+            if is_write:
+                write_lines.append(line)
+                if datas is not None:
+                    data = datas[i]
+                    if data is not None:
+                        traffic.record_cell_flips(image.get(line) or b"", data)
+                        image[line] = bytes(data)
+        self._dispatch_free_at = dispatch_free
+        self.energy_pj = energy_acc
+        traffic.record_burst(access, kind, len(addresses), write_lines if is_write else None)
+        return finish
+
+    def next_free_cycles(self) -> List[int]:
+        """Per-channel earliest-issue cycles (index-aligned with ``channels``).
+
+        The scheduler's hazard/overlap logic reads these to decide how far
+        a younger access's fetch can slide under an older write-back.
+        """
+        return [channel.bus_free_at for channel in self.channels]
 
     def access_batch(
         self,
@@ -162,6 +341,8 @@ class NVMMainMemory:
         self.traffic.reset()
         self.energy_pj = 0.0
         self._dispatch_free_at = 0
+        if self._dispatch_intervals is not None:
+            self._dispatch_intervals = []
 
     @property
     def num_channels(self) -> int:

@@ -70,6 +70,26 @@ class TrafficMeter:
             if self.track_wear:
                 self._line_writes[request.address // self.line_bytes] += 1
 
+    def record_burst(self, access: Access, kind: RequestKind, count: int, write_lines=None) -> None:
+        """Account ``count`` same-kind line requests in one call.
+
+        Counter-identical to ``count`` calls to :meth:`record` (all the
+        affected tallies are integers, so aggregation order is immaterial).
+        ``write_lines`` supplies the line indices for wear tracking on
+        write bursts.
+        """
+        nbytes = count * self.line_bytes
+        if access is Access.READ:
+            self.reads[kind] += count
+            self.read_bytes += nbytes
+        else:
+            self.writes[kind] += count
+            self.write_bytes += nbytes
+            if self.track_wear and write_lines is not None:
+                line_writes = self._line_writes
+                for line in write_lines:
+                    line_writes[line] += 1
+
     @property
     def total_reads(self) -> int:
         return sum(self.reads.values())

@@ -105,24 +105,16 @@ class ORAMTree:
         One timed line read is issued per slot.
         """
         memory = self.memory
-        access = memory.issue
+        addresses = _path_slot_addresses(self.region, path_id)
+        finish = memory.issue_path(addresses, Access.READ, start_cycle, self.kind)
         load_line = memory.load_line
-        decode = self.codec.decode
-        kind = self.kind
-        dummy = Block.dummy_template(self.codec.block_bytes)
-        blocks: List[Block] = []
-        append = blocks.append
-        finish = start_cycle
-        for address in _path_slot_addresses(self.region, path_id):
-            request = access(address, Access.READ, start_cycle, kind)
-            complete = request.complete_cycle
-            # `is not None` (not truthiness): a legitimate completion at
-            # cycle 0 must not be discarded.
-            if complete is not None and complete > finish:
-                finish = complete
-            wire = load_line(address)
-            append(dummy if wire is None else decode(wire))
-        return blocks, finish
+        wires = [load_line(address) for address in addresses]
+        codec = self.codec
+        if None not in wires:
+            return codec.decode_path(wires), finish
+        dummy = Block.dummy_template(codec.block_bytes)
+        decoded = iter(codec.decode_path([wire for wire in wires if wire is not None]))
+        return [dummy if wire is None else next(decoded) for wire in wires], finish
 
     def read_path_headers(self, path_id: int) -> List[Block]:
         """Functional header-only scan of a path (used by recovery)."""
@@ -153,27 +145,21 @@ class ORAMTree:
                 f"assignment has {len(assignment)} levels, expected {self.height + 1}"
             )
         z = self.z
-        access = self.memory.issue
-        encode = self.codec.encode
-        kind = self.kind
         dummy = Block.dummy_template(self.codec.block_bytes)
-        addresses = _path_slot_addresses(self.region, path_id)
-        finish = start_cycle
-        cursor = 0
+        blocks: List[Block] = []
         for level, placed in enumerate(assignment):
             if len(placed) > z:
                 raise ValueError(f"level {level} assigned {len(placed)} > Z={z} blocks")
-            for slot in range(z):
-                block = placed[slot] if slot < len(placed) else dummy
-                request = access(
-                    addresses[cursor], Access.WRITE, start_cycle, kind,
-                    data=encode(block),
-                )
-                cursor += 1
-                complete = request.complete_cycle
-                if complete is not None and complete > finish:
-                    finish = complete
-        return finish
+            blocks.extend(placed)
+            blocks.extend(dummy for _ in range(z - len(placed)))
+        wires = self.codec.encode_path(blocks)
+        return self.memory.issue_path(
+            _path_slot_addresses(self.region, path_id),
+            Access.WRITE,
+            start_cycle,
+            self.kind,
+            datas=wires,
+        )
 
     # -- diagnostics -------------------------------------------------------------
 

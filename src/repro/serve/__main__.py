@@ -30,6 +30,7 @@ def _cmd_serve(args) -> int:
     service = ShardedKVService(
         shards=args.shards, variant=args.variant, height=args.height,
         batch_max=args.batch_max, seed=args.seed, mode="thread",
+        window=args.window,
     ).start()
     print(f"serving {args.shards} x {args.variant} shard(s); "
           "commands: PUT <key> <value> | GET <key> | DEL <key> | "
@@ -76,7 +77,7 @@ def _cmd_bench(args) -> int:
     result = run_load(
         shards=args.shards, clients=args.clients, total_ops=args.ops,
         variant=args.variant, height=args.height, batch_max=args.batch_max,
-        seed=args.seed,
+        seed=args.seed, window=args.window,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -135,6 +136,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         p.add_argument("--height", type=int, default=8)
         p.add_argument("--batch-max", type=int, default=8)
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--window", type=int, default=1,
+                       help="in-flight access window depth per shard "
+                            "(1 = serial pipeline)")
 
     p_serve = sub.add_parser("serve", help="interactive thread-mode service")
     common(p_serve)

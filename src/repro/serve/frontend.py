@@ -56,6 +56,7 @@ class ShardedKVService:
         key: bytes = b"repro-psoram-key",
         mode: str = "thread",
         pad_batches: bool = False,
+        window: int = 1,
     ):
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -74,6 +75,7 @@ class ShardedKVService:
                 seed=seed,
                 key=key,
                 pad_batches=pad_batches,
+                window=window,
             )
             for index in range(shards)
         ]

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 from repro.apps.kvstore import ObliviousKVStore
 from repro.config import small_config
 from repro.core.recovery import RecoveryReport, crash_and_recover
+from repro.engine.registry import build_scheduled
 from repro.errors import ReproError, ServiceCrashedError, SimulatedCrash
 from repro.serve.batcher import BatchPlan, Request, plan_batch
 from repro.util.rng import DeterministicRNG
@@ -50,9 +51,16 @@ class ShardWorker:
         seed: int = 1,
         key: bytes = b"repro-psoram-key",
         pad_batches: bool = False,
+        window: int = 1,
     ):
         self.index = index
         self.variant = variant
+        #: In-flight access window depth for the memory-level-parallel
+        #: scheduler (1 = serial).  The batch planner is the natural
+        #: feeder: a planned batch's loads/commits stream into the window
+        #: back-to-back, so disjoint-path requests overlap across the
+        #: shard's NVM channels.
+        self.window = window
         #: When set, every batch issues at least one ORAM access per
         #: request: coalescing savings are re-spent as dummy accesses, so
         #: a bus observer cannot learn from the access *count* that a
@@ -63,9 +71,12 @@ class ShardWorker:
         #: Deterministic per-shard config seed: independent substreams so
         #: shard RNGs never correlate, stable across restarts.
         self.config_seed = DeterministicRNG(seed).substream(f"shard-{index}").seed
-        self.config = small_config(height=height, seed=self.config_seed)
-        self.store = ObliviousKVStore.create(
-            variant, self.config, directory_buckets=directory_buckets, key=key
+        self.config = small_config(
+            height=height, seed=self.config_seed, sched_window=window
+        )
+        controller = build_scheduled(variant, self.config, key=key)
+        self.store = ObliviousKVStore(
+            controller, directory_buckets=directory_buckets
         )
         self.crashed = False
         self.stats: Dict[str, int] = {

@@ -55,6 +55,27 @@ class _OffsetMemory:
             address + self.offset, access, arrival_cycle, kind, data
         )
 
+    def issue_path(
+        self,
+        addresses,
+        access: Access,
+        arrival_cycle: int,
+        kind: RequestKind = RequestKind.DATA_PATH,
+        datas=None,
+    ) -> int:
+        if access is Access.READ:
+            self.own_traffic.counter("reads").add(len(addresses))
+        else:
+            self.own_traffic.counter("writes").add(len(addresses))
+        offset = self.offset
+        return self.shared.issue_path(
+            [address + offset for address in addresses],
+            access, arrival_cycle, kind, datas,
+        )
+
+    def next_free_cycles(self):
+        return self.shared.next_free_cycles()
+
     def store_line(self, address: int, data: bytes) -> None:
         self.shared.store_line(address + self.offset, data)
 

@@ -25,6 +25,10 @@ def run_experiment(
     comparisons.
     """
     controller = build_variant(variant, config)
+    if getattr(config, "sched_window", 1) > 1:
+        from repro.engine.sched import wrap_controller
+
+        controller = wrap_controller(controller, config.sched_window)
     system = SimulatedSystem(config, controller)
 
     if warmup_references > 0:

@@ -39,6 +39,23 @@ class TestRunCell:
         assert cell.quiescent_crashes == 3
         assert cell.consistent, cell.violations
 
+    def test_windowed_cell_conformant(self):
+        """The access window drains to a barrier on every crash, so a
+        scheduled cell must pass with the same verdict as the serial one
+        (docs/SCHEDULER.md)."""
+        cell = run_cell("ps", point="step4:after-backup", rounds=3, seed=5,
+                        window=4)
+        assert cell.supports
+        assert cell.consistent, cell.violations
+        assert cell.crashes_fired >= 1
+
+    def test_window_changes_cache_key(self):
+        base = dict(variant="ps", point="phase:fetch", wpq="default",
+                    rounds=2, seed=9, height=6)
+        serial = MatrixPoint(**base)
+        windowed = MatrixPoint(**base, window=4)
+        assert serial.key() != windowed.key()
+
     def test_unknown_point_rejected(self):
         with pytest.raises(ValueError):
             run_cell("ps", point="step2:after-intent")  # Rcr-only label
