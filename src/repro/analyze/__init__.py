@@ -1,0 +1,33 @@
+"""ORAM-aware static analysis (docs/ANALYSIS.md).
+
+The crash-conformance matrix (:mod:`repro.crashsim`) finds
+crash-consistency bugs *dynamically*; this package finds the statically
+checkable pattern behind most of them before a single crash test runs:
+
+* **R1 persist-ordering** — every persistent-domain write (WPQ enqueue,
+  direct NVM store) must be bracketed by an open drainer round and reach
+  the round's end + flush on every path; rounds must be visibly bounded
+  by a WPQ capacity; crash-time flushes must resolve parked in-flight
+  remap state first.
+* **R2 crash-point-coverage** — every declared crash-injection label has
+  an injection site and vice versa; every atomic round is injectable.
+* **R3 oblivious** — taint-lite: secret-marked values (logical
+  addresses, payloads) must not select memory addresses, guard memory
+  operations, or bound loops that touch memory.
+* **R4 determinism** — no wall-clock, unseeded randomness, or
+  set-iteration-order dependence inside the deterministic core.
+* **R5 falsy-zero** — no truthiness tests on Optional cycle/counter
+  values (0 is a valid cycle; ``if complete:`` drops it).
+* **R6 access-entrypoint** — exactly one phase-pipeline ``access``
+  implementation (:meth:`repro.engine.base.AccessEngine.access`); any
+  other ``def access`` must be a pure delegating front end.
+
+Run ``python -m repro.analyze src/`` for the CLI (text + JSON reports,
+committed baseline, ``# analyze: ignore[rule]`` suppressions).
+"""
+
+from repro.analyze.model import Finding
+from repro.analyze.runner import run_analysis
+from repro.analyze.rules import ALL_RULES, rule_by_name
+
+__all__ = ["Finding", "run_analysis", "ALL_RULES", "rule_by_name"]

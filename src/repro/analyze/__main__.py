@@ -1,0 +1,131 @@
+"""CLI: ``python -m repro.analyze [paths] [options]``.
+
+Exit status is 0 when no active (non-suppressed, non-baselined)
+findings remain and no baseline entries are stale; 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analyze.baseline import DEFAULT_BASELINE, Baseline
+from repro.analyze.report import render_json, render_text, write_json
+from repro.analyze.runner import run_analysis
+from repro.analyze.rules import ALL_RULES, select_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="ORAM-aware static analysis for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule names or ids (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (text stays on stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=(
+            "baseline file (default: %s if it exists; 'none' disables)"
+            % DEFAULT_BASELINE
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list available rules and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print baselined findings in text output",
+    )
+    return parser
+
+
+def _load_baseline(args) -> Baseline:
+    if args.baseline == "none":
+        return Baseline.empty()
+    if args.baseline:
+        path = Path(args.baseline)
+        if not path.exists():
+            print(f"analyze: baseline {path} not found", file=sys.stderr)
+            raise SystemExit(2)
+        return Baseline.load(path)
+    default = Path(DEFAULT_BASELINE)
+    if default.exists():
+        return Baseline.load(default)
+    return Baseline.empty()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.name:22s} {rule.description}")
+        return 0
+
+    try:
+        rules = select_rules(
+            [t for t in (args.rules or "").split(",") if t.strip()]
+        )
+    except KeyError as exc:
+        print(f"analyze: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        result = run_analysis(args.paths, rules=rules, baseline=None)
+        target = Path(args.baseline or DEFAULT_BASELINE)
+        Baseline.write(target, result.findings)
+        kept = sum(1 for f in result.findings if not f.suppressed)
+        print(f"analyze: wrote {kept} finding(s) to {target}")
+        return 0
+
+    baseline = _load_baseline(args)
+    result = run_analysis(args.paths, rules=rules, baseline=baseline)
+
+    payload = render_json(result.findings, result.stale_baseline, result.rules)
+    if args.format == "json":
+        write_json(payload, sys.stdout)
+    else:
+        render_text(
+            result.findings,
+            result.stale_baseline,
+            sys.stdout,
+            verbose=args.verbose,
+        )
+    if args.output:
+        with open(args.output, "w") as fh:
+            write_json(payload, fh)
+
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

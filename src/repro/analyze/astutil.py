@@ -1,0 +1,123 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+
+def attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted name of a Name/Attribute chain, e.g. ``c.drainer.push_block``.
+
+    Call nodes inside the chain collapse to their own chain (``a.b().c``
+    -> ``a.b.c``); anything non-name-like yields ``None``.
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        else:
+            return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Dotted name of a call target (``None`` for computed targets)."""
+    return attr_chain(call.func)
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """Last identifier of a Name/Attribute (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    """Every Call anywhere under ``node`` (including nested expressions)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def names_in(node: ast.AST) -> Set[str]:
+    """Every bare identifier mentioned under ``node`` (Name ids + attrs)."""
+    out: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            out.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            out.add(child.attr)
+    return out
+
+
+def assigned_names(stmt: ast.stmt) -> Set[str]:
+    """Names bound by an assignment-like statement (simple targets only)."""
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    out: Set[str] = set()
+    for target in targets:
+        for child in ast.walk(target):
+            if isinstance(child, ast.Name):
+                out.add(child.id)
+    return out
+
+
+def const_str(node: ast.AST) -> Optional[str]:
+    """The value of a string literal, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def header_exprs(stmt: ast.stmt) -> List[ast.AST]:
+    """The expressions a CFG node *itself* evaluates.
+
+    For compound statements only the header runs at the node (the body
+    statements are their own CFG nodes): the ``if``/``while`` test, the
+    ``for`` iterable, the ``with`` context managers.  Simple statements
+    evaluate themselves.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Raise):
+        return [e for e in (stmt.exc, stmt.cause) if e is not None]
+    return [stmt]
+
+
+def in_dirs(relpath: str, dirs) -> bool:
+    """Whether ``relpath`` has any of ``dirs`` as a path component."""
+    parts = relpath.split("/")
+    return any(d in parts for d in dirs)
+
+
+def is_self_attr(node: ast.AST, names: Set[str]) -> bool:
+    """Whether ``node`` is ``self.X`` / ``cls.X`` with X in ``names``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+        and node.attr in names
+    )

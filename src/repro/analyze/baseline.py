@@ -1,0 +1,86 @@
+"""Committed baseline: known findings accepted with a justification.
+
+A baseline entry acknowledges a finding as *intentional* — e.g. the
+position-map region is indexed by logical address by the paper's own
+design, so R3 flags it forever.  Entries are keyed on the stable
+fingerprint fields (rule, path, symbol, message) — line numbers are
+deliberately excluded so unrelated edits don't churn the baseline —
+and each carries a one-line ``why``.
+
+Unmatched baseline entries are reported as stale so the file cannot
+rot: when a finding is actually fixed, its entry must be removed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analyze.model import Finding
+
+DEFAULT_BASELINE = ".analyze-baseline.json"
+
+Key = Tuple[str, str, str, str]
+
+
+def _key(rule: str, path: str, symbol: str, message: str) -> Key:
+    return (rule, path, symbol, message)
+
+
+class Baseline:
+    def __init__(self, entries: Dict[Key, str], path: str = ""):
+        self.entries = entries
+        self.path = path
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        entries: Dict[Key, str] = {}
+        for item in data.get("findings", []):
+            entries[
+                _key(
+                    item["rule"],
+                    item["path"],
+                    item.get("symbol", ""),
+                    item["message"],
+                )
+            ] = item.get("why", "")
+        return cls(entries, str(path))
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    def apply(self, findings: List[Finding]) -> Tuple[List[Finding], List[Key]]:
+        """Mark baselined findings; return (findings, stale baseline keys)."""
+        matched = set()
+        out = []
+        for f in findings:
+            key = _key(f.rule, f.path, f.symbol, f.message)
+            if key in self.entries:
+                matched.add(key)
+                out.append(replace(f, baselined=True))
+            else:
+                out.append(f)
+        stale = [k for k in self.entries if k not in matched]
+        return out, stale
+
+    @staticmethod
+    def write(path: Path, findings: List[Finding], why: str = "") -> None:
+        """Serialize current active findings as a fresh baseline."""
+        items = []
+        for f in sorted(findings, key=lambda f: (f.rule, f.path, f.line)):
+            if f.suppressed:
+                continue
+            items.append(
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "symbol": f.symbol,
+                    "message": f.message,
+                    "why": why or "baselined via --write-baseline; justify me",
+                }
+            )
+        path.write_text(json.dumps({"findings": items}, indent=2) + "\n")

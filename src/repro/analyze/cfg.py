@@ -1,0 +1,203 @@
+"""A small statement-level control-flow graph over Python functions.
+
+Each simple statement (and each compound statement's header — the
+``if``/``while`` test, the ``for`` iterable) becomes one node; edges
+follow execution order including loop back-edges, ``break``/
+``continue``, and early ``return``/``raise`` (both jump to the single
+synthetic exit node).  ``try`` is approximated: every statement in the
+``try`` body may also branch to each handler's entry, and ``finally``
+runs on the fall-through path.  This is deliberately simple — precise
+enough for the persist-ordering dataflow, small enough to audit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+
+class Node:
+    """One CFG node wrapping a statement (or ``None`` for the exit)."""
+
+    __slots__ = ("stmt", "succs", "label")
+
+    def __init__(self, stmt: Optional[ast.stmt], label: str = ""):
+        self.stmt = stmt
+        self.succs: List["Node"] = []
+        self.label = label
+
+    def link(self, other: "Node") -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = self.label or (type(self.stmt).__name__ if self.stmt else "EXIT")
+        line = getattr(self.stmt, "lineno", "-")
+        return f"<Node {kind}@{line}>"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, entry: Node, exit_node: Node, nodes: List[Node]):
+        self.entry = entry
+        self.exit = exit_node
+        self.nodes = nodes
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.exit = Node(None, "EXIT")
+        self.nodes: List[Node] = []
+        # (continue_target, break_targets) per enclosing loop
+        self.loops: List[Tuple[Node, List[Node]]] = []
+        # handler entries of enclosing try blocks
+        self.handlers: List[List[Node]] = []
+
+    def node(self, stmt: ast.stmt, label: str = "") -> Node:
+        n = Node(stmt, label)
+        self.nodes.append(n)
+        return n
+
+    def build(self, func: ast.AST) -> CFG:
+        entry = Node(None, "ENTRY")
+        self.nodes.append(entry)
+        tails = self.sequence(func.body, [entry])
+        for tail in tails:
+            tail.link(self.exit)
+        self.nodes.append(self.exit)
+        return CFG(entry, self.exit, self.nodes)
+
+    def sequence(self, stmts: List[ast.stmt], preds: List[Node]) -> List[Node]:
+        """Wire ``stmts`` after ``preds``; returns the fall-through tails."""
+        current = preds
+        for stmt in stmts:
+            if not current:
+                break  # unreachable code after return/raise/break
+            current = self.statement(stmt, current)
+        return current
+
+    def statement(self, stmt: ast.stmt, preds: List[Node]) -> List[Node]:
+        if isinstance(stmt, ast.If):
+            test = self.node(stmt, "if")
+            self._attach(preds, test)
+            body_tails = self.sequence(stmt.body, [test])
+            else_tails = self.sequence(stmt.orelse, [test]) if stmt.orelse else [test]
+            return body_tails + else_tails
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self.node(stmt, "loop")
+            self._attach(preds, head)
+            breaks: List[Node] = []
+            self.loops.append((head, breaks))
+            body_tails = self.sequence(stmt.body, [head])
+            self.loops.pop()
+            for tail in body_tails:
+                tail.link(head)
+            else_tails = self.sequence(stmt.orelse, [head]) if stmt.orelse else [head]
+            return else_tails + breaks
+        if isinstance(stmt, ast.Try):
+            handler_entries: List[Node] = []
+            handler_tails: List[Node] = []
+            # Build the handlers first so body statements can target them.
+            for handler in stmt.handlers:
+                h_entry = self.node(handler, "except")
+                handler_entries.append(h_entry)
+                handler_tails.extend(self.sequence(handler.body, [h_entry]))
+            self.handlers.append(handler_entries)
+            body_tails = self.sequence(stmt.body, preds)
+            self.handlers.pop()
+            # Any statement in the try body may raise into any handler.
+            for node in self._span_nodes(stmt.body):
+                for h_entry in handler_entries:
+                    node.link(h_entry)
+            else_tails = (
+                self.sequence(stmt.orelse, body_tails) if stmt.orelse else body_tails
+            )
+            tails = else_tails + handler_tails
+            if stmt.finalbody:
+                tails = self.sequence(stmt.finalbody, tails)
+            return tails
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self.node(stmt, "with")
+            self._attach(preds, head)
+            return self.sequence(stmt.body, [head])
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            n = self.node(stmt)
+            self._attach(preds, n)
+            if isinstance(stmt, ast.Raise) and self.handlers:
+                for h_entry in self.handlers[-1]:
+                    n.link(h_entry)
+            n.link(self.exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            n = self.node(stmt)
+            self._attach(preds, n)
+            if self.loops:
+                self.loops[-1][1].append(n)
+            return []
+        if isinstance(stmt, ast.Continue):
+            n = self.node(stmt)
+            self._attach(preds, n)
+            if self.loops:
+                n.link(self.loops[-1][0])
+            return []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # A nested definition is a single opaque statement here; its
+            # body gets its own CFG when the walker reaches it.
+            n = self.node(stmt, "def")
+            self._attach(preds, n)
+            return [n]
+        n = self.node(stmt)
+        self._attach(preds, n)
+        return [n]
+
+    def _attach(self, preds: List[Node], node: Node) -> None:
+        for p in preds:
+            p.link(node)
+
+    def _span_nodes(self, stmts: List[ast.stmt]) -> List[Node]:
+        spans = []
+        for s in stmts:
+            spans.append((s.lineno, s.end_lineno or s.lineno))
+        out = []
+        for node in self.nodes:
+            if node.stmt is None:
+                continue
+            line = getattr(node.stmt, "lineno", None)
+            if line is None:
+                continue
+            if any(lo <= line <= hi for lo, hi in spans):
+                out.append(node)
+        return out
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    return _Builder().build(func)
+
+
+def reachable_before(
+    start: Node,
+    stop: "callable",
+    flag: "callable",
+) -> Optional[Node]:
+    """DFS from ``start``'s successors: does any path hit a ``flag`` node
+    before a ``stop`` node?  Returns the offending node (or ``None``).
+
+    ``stop(node)`` ends exploration of that path (the guard was met);
+    ``flag(node)`` marks the violation.  The exit node must be handled by
+    the caller's ``flag``/``stop`` predicates (it has ``stmt None``).
+    """
+    seen: Dict[int, bool] = {}
+    stack = list(start.succs)
+    while stack:
+        node = stack.pop()
+        if seen.get(id(node)):
+            continue
+        seen[id(node)] = True
+        if stop(node):
+            continue
+        if flag(node):
+            return node
+        stack.extend(node.succs)
+    return None

@@ -1,0 +1,53 @@
+"""Finding model shared by every rule and reporter."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``symbol`` is the dotted in-file qualname of the enclosing function
+    or class (empty at module level); the baseline matches on
+    ``(rule, path, symbol, message)`` so findings survive line drift but
+    not semantic change.
+    """
+
+    rule: str  #: rule name, e.g. "persist-ordering"
+    rule_id: str  #: short id, e.g. "R1"
+    path: str  #: posix path relative to the scan root
+    line: int
+    symbol: str
+    message: str
+    suppressed: bool = field(default=False, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching."""
+        raw = "|".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+    @property
+    def active(self) -> bool:
+        """Whether this finding should fail the gate."""
+        return not (self.suppressed or self.baselined)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }

@@ -1,0 +1,77 @@
+"""Text and JSON reporters for analysis results."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO
+
+from repro.analyze.model import Finding
+
+
+def render_text(
+    findings: List[Finding],
+    stale_baseline: List,
+    stream: TextIO,
+    verbose: bool = False,
+) -> None:
+    active = [f for f in findings if f.active]
+    suppressed = [f for f in findings if f.suppressed]
+    baselined = [f for f in findings if f.baselined]
+
+    for f in sorted(active, key=lambda f: (f.path, f.line, f.rule)):
+        stream.write(f"{f.location()}: [{f.rule_id}:{f.rule}] {f.message}\n")
+        if f.symbol:
+            stream.write(f"    in {f.symbol}\n")
+    if verbose:
+        for f in sorted(baselined, key=lambda f: (f.path, f.line)):
+            stream.write(
+                f"{f.location()}: [{f.rule_id}:{f.rule}] baselined: "
+                f"{f.message}\n"
+            )
+    for key in sorted(stale_baseline):
+        rule, path, symbol, message = key
+        stream.write(
+            f"{path}: stale baseline entry [{rule}] {message!r} — the "
+            "finding no longer fires; remove it from the baseline\n"
+        )
+
+    parts = [f"{len(active)} finding(s)"]
+    if baselined:
+        parts.append(f"{len(baselined)} baselined")
+    if suppressed:
+        parts.append(f"{len(suppressed)} suppressed")
+    if stale_baseline:
+        parts.append(f"{len(stale_baseline)} stale baseline entr(y/ies)")
+    stream.write("analyze: " + ", ".join(parts) + "\n")
+
+
+def render_json(
+    findings: List[Finding],
+    stale_baseline: List,
+    rules: List,
+) -> Dict:
+    return {
+        "tool": "repro.analyze",
+        "rules": [
+            {"id": r.rule_id, "name": r.name, "description": r.description}
+            for r in rules
+        ],
+        "findings": [
+            f.to_json()
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        ],
+        "stale_baseline": [
+            {"rule": k[0], "path": k[1], "symbol": k[2], "message": k[3]}
+            for k in sorted(stale_baseline)
+        ],
+        "counts": {
+            "active": sum(1 for f in findings if f.active),
+            "suppressed": sum(1 for f in findings if f.suppressed),
+            "baselined": sum(1 for f in findings if f.baselined),
+        },
+    }
+
+
+def write_json(payload: Dict, stream: TextIO) -> None:
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")

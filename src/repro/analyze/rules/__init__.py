@@ -1,0 +1,37 @@
+"""Rule registry: the six ORAM-aware rules, addressable by name or id."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analyze.rules.persist import PersistOrderingRule
+from repro.analyze.rules.crashpoints import CrashPointCoverageRule
+from repro.analyze.rules.oblivious import ObliviousnessRule
+from repro.analyze.rules.determinism import DeterminismRule
+from repro.analyze.rules.falsyzero import FalsyZeroRule
+from repro.analyze.rules.entrypoint import AccessEntrypointRule
+
+ALL_RULES = [
+    PersistOrderingRule(),
+    CrashPointCoverageRule(),
+    ObliviousnessRule(),
+    DeterminismRule(),
+    FalsyZeroRule(),
+    AccessEntrypointRule(),
+]
+
+
+def rule_by_name(token: str):
+    """Look up a rule by name (``persist-ordering``) or id (``R1``)."""
+    token = token.strip()
+    for rule in ALL_RULES:
+        if token in (rule.name, rule.rule_id):
+            return rule
+    known = ", ".join(f"{r.rule_id}={r.name}" for r in ALL_RULES)
+    raise KeyError(f"unknown rule {token!r}; known: {known}")
+
+
+def select_rules(tokens) -> List:
+    if not tokens:
+        return list(ALL_RULES)
+    return [rule_by_name(t) for t in tokens]

@@ -1,0 +1,95 @@
+"""R5 falsy-zero: truthiness tests on values where 0 is meaningful.
+
+The ``complete_cycle`` recovery bug: ``if not entry.complete_cycle:``
+treated cycle 0 — a perfectly valid drainer round id — the same as
+"no cycle recorded", so recovery discarded the first round's state.
+Cycle numbers, version counters, and sequence ids all legitimately
+take the value 0; membership must be tested with ``is None`` /
+``is not None``, never truthiness.
+
+This rule flags a Name/Attribute whose terminal identifier matches a
+cycle/counter naming pattern when it is used bare as a truth value:
+an ``if``/``while`` test, a ``not`` operand, an ``and``/``or`` operand,
+a ternary condition, or a comprehension filter.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Tuple
+
+from repro.analyze.astutil import terminal_name
+from repro.analyze.model import Finding
+from repro.analyze.source import Project, SourceFile
+
+#: Terminal identifiers where 0 is a meaningful value, not an absence.
+_COUNTER_NAME = re.compile(
+    r"(^|_)("
+    r"complete_cycle|cycle|cycles|version|seq|seqno|sequence|counter"
+    r"|round_id|round_no|epoch|generation|timestamp"
+    r")$"
+)
+
+
+def _is_counter_ref(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.Name, ast.Attribute)):
+        return False
+    name = terminal_name(node)
+    return name is not None and _COUNTER_NAME.search(name) is not None
+
+
+def _truth_contexts(func: ast.AST) -> Iterator[Tuple[ast.AST, int, str]]:
+    """(expr used as truth value, line, context description)."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.If, ast.While)):
+            yield node.test, node.lineno, "branch condition"
+        elif isinstance(node, ast.IfExp):
+            yield node.test, node.lineno, "conditional expression"
+        elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            yield node.operand, node.lineno, "'not' operand"
+        elif isinstance(node, ast.BoolOp):
+            # every operand but possibly the last is used for its truth value;
+            # flag all of them — counters in and/or chains are the bug shape.
+            for operand in node.values:
+                yield operand, node.lineno, "and/or operand"
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                for cond in gen.ifs:
+                    yield cond, node.lineno, "comprehension filter"
+        elif isinstance(node, ast.Assert):
+            yield node.test, node.lineno, "assert condition"
+
+
+class FalsyZeroRule:
+    name = "falsy-zero"
+    rule_id = "R5"
+    description = (
+        "cycle/counter/version values must be tested with 'is None', "
+        "not truthiness — 0 is a valid value"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for sf in project:
+            yield from self._check_file(sf)
+
+    def _check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        for expr, line, context in _truth_contexts(sf.tree):
+            if _is_counter_ref(expr):
+                name = terminal_name(expr)
+                info = sf.enclosing_function(line)
+                yield Finding(
+                    rule=self.name,
+                    rule_id=self.rule_id,
+                    path=sf.relpath,
+                    line=line,
+                    symbol=info.qualname if info is not None else "",
+                    message=(
+                        f"truthiness test on {name!r} used as "
+                        f"{context}: 0 is a valid "
+                        "cycle/counter value and reads as False — "
+                        "compare with 'is None' / 'is not None'"
+                    ),
+                )

@@ -1,0 +1,62 @@
+"""Orchestrates project loading, rule execution, suppression, baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analyze.baseline import Baseline
+from repro.analyze.model import Finding
+from repro.analyze.source import Project, load_project
+
+
+@dataclass
+class AnalysisResult:
+    project: Project
+    rules: List = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    stale_baseline: List[Tuple] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.stale_baseline
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rules: Optional[Sequence] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Path] = None,
+) -> AnalysisResult:
+    """Run ``rules`` (default: all) over ``paths`` and post-process.
+
+    Suppression directives (``# analyze: ignore[rule]``) are applied
+    per finding line; the baseline (if given) marks known findings.
+    """
+    from repro.analyze.rules import ALL_RULES
+
+    project = load_project(paths, root=root)
+    selected = list(rules) if rules is not None else list(ALL_RULES)
+
+    findings: List[Finding] = []
+    for rule in selected:
+        for f in rule.check(project):
+            sf = project.by_relpath.get(f.path)
+            if sf is not None and sf.is_suppressed(f.line, f.rule, f.rule_id):
+                f = replace(f, suppressed=True)
+            findings.append(f)
+
+    stale: List[Tuple] = []
+    if baseline is not None:
+        findings, stale = baseline.apply(findings)
+    return AnalysisResult(
+        project=project,
+        rules=selected,
+        findings=findings,
+        stale_baseline=stale,
+    )

@@ -1,0 +1,173 @@
+"""Source loading: parsed files, suppressions, and secret annotations.
+
+Two comment directives drive the analyzer:
+
+* ``# analyze: ignore[rule, ...]`` — suppress findings of the named
+  rules (names or short ids; ``*`` for all) on this line, the line
+  below, or — when written on a ``def``/``class`` line — the whole body.
+  Text after the closing bracket is the human justification.
+* ``# analyze: secret(name, ...)`` — on a ``def`` line: mark the named
+  parameters (or locals / ``self.<attr>`` identifiers) as secret for the
+  obliviousness rule, in addition to its built-in seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+_IGNORE_RE = re.compile(r"#\s*analyze:\s*ignore\[([^\]]*)\]")
+_SECRET_RE = re.compile(r"#\s*analyze:\s*secret\(([^)]*)\)")
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or method) definition with its analysis metadata."""
+
+    node: ast.AST  #: FunctionDef | AsyncFunctionDef
+    qualname: str  #: dotted in-file qualname, e.g. "DirtyEntryPSPolicy.evict"
+    lineno: int
+    end_lineno: int
+    secret_names: Set[str] = field(default_factory=set)
+
+
+class SourceFile:
+    """One parsed source file plus its directive index."""
+
+    def __init__(self, path: Path, relpath: str, text: str):
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        #: line -> set of rule names (or "*") suppressed there
+        self.suppressions: Dict[int, Set[str]] = {}
+        #: line -> names marked secret on that def line
+        self._secret_lines: Dict[int, Set[str]] = {}
+        for i, line in enumerate(self.lines, start=1):
+            m = _IGNORE_RE.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                self.suppressions[i] = rules
+            m = _SECRET_RE.search(line)
+            if m:
+                names = {n.strip() for n in m.group(1).split(",") if n.strip()}
+                self._secret_lines[i] = names
+        self.functions: List[FunctionInfo] = list(self._collect_functions())
+
+    def _collect_functions(self) -> Iterator[FunctionInfo]:
+        def walk(node: ast.AST, prefix: str) -> Iterator[FunctionInfo]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}{child.name}"
+                    secrets: Set[str] = set()
+                    # A secret() directive on the def line, the line
+                    # above, or any decorator line applies to this def.
+                    first = min(
+                        [child.lineno] + [d.lineno for d in child.decorator_list]
+                    )
+                    for ln in range(first - 1, child.body[0].lineno):
+                        secrets |= self._secret_lines.get(ln, set())
+                    yield FunctionInfo(
+                        node=child,
+                        qualname=qual,
+                        lineno=child.lineno,
+                        end_lineno=child.end_lineno or child.lineno,
+                        secret_names=secrets,
+                    )
+                    yield from walk(child, f"{qual}.")
+                elif isinstance(child, ast.ClassDef):
+                    yield from walk(child, f"{prefix}{child.name}.")
+
+        return walk(self.tree, "")
+
+    def enclosing_function(self, line: int) -> Optional[FunctionInfo]:
+        """Innermost function whose span covers ``line``."""
+        best: Optional[FunctionInfo] = None
+        for info in self.functions:
+            if info.lineno <= line <= info.end_lineno:
+                if best is None or info.lineno >= best.lineno:
+                    best = info
+        return best
+
+    def is_suppressed(self, line: int, rule: str, rule_id: str) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is suppressed."""
+
+        def matches(rules: Set[str]) -> bool:
+            return bool(rules & {"*", rule, rule_id})
+
+        for candidate in (line, line - 1):
+            if matches(self.suppressions.get(candidate, set())):
+                return True
+        info = self.enclosing_function(line)
+        while info is not None:
+            for ln in range(info.lineno - 1, info.node.body[0].lineno):
+                if matches(self.suppressions.get(ln, set())):
+                    return True
+            outer = self.enclosing_function(info.lineno - 1)
+            info = outer if outer is not info else None
+        return False
+
+
+class Project:
+    """Every file under analysis, addressable by relative path."""
+
+    def __init__(self, root: Path, files: List[SourceFile]):
+        self.root = root
+        self.files = files
+        self.by_relpath = {f.relpath: f for f in files}
+
+    def __iter__(self) -> Iterator[SourceFile]:
+        return iter(self.files)
+
+
+def _iter_py_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for sub in sorted(path.rglob("*.py")):
+        if "__pycache__" in sub.parts:
+            continue
+        yield sub
+
+
+def load_project(paths: List[str], root: Optional[Path] = None) -> Project:
+    """Load every ``.py`` file under ``paths`` into a :class:`Project`.
+
+    ``root`` anchors the relative paths used in findings and the
+    baseline; it defaults to the common parent of ``paths``.
+    """
+    resolved = [Path(p).resolve() for p in paths]
+    if root is None:
+        if len(resolved) == 1 and resolved[0].is_dir():
+            root = resolved[0]
+        else:
+            parents = [p if p.is_dir() else p.parent for p in resolved]
+            root = Path(*_common_prefix(parents))
+    files: List[SourceFile] = []
+    seen: Set[Path] = set()
+    for path in resolved:
+        for file_path in _iter_py_files(path):
+            if file_path in seen:
+                continue
+            seen.add(file_path)
+            try:
+                rel = file_path.relative_to(root).as_posix()
+            except ValueError:
+                rel = file_path.as_posix()
+            files.append(SourceFile(file_path, rel, file_path.read_text()))
+    return Project(root, files)
+
+
+def _common_prefix(paths: List[Path]) -> Tuple[str, ...]:
+    parts = [p.parts for p in paths]
+    prefix: List[str] = []
+    for items in zip(*parts):
+        if len(set(items)) != 1:
+            break
+        prefix.append(items[0])
+    return tuple(prefix) if prefix else ("/",)

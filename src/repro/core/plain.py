@@ -67,7 +67,10 @@ class PlainNVMController(AccessEngine):
     def _count_access(self, is_write: bool) -> None:
         self.stats.counter("accesses").add()
 
-    def _lookup_phase(self, address, is_write, payload, mutator, start):
+    # The plain-memory baseline addresses NVM by logical address on
+    # purpose — it exists to quantify what the ORAMs pay to hide exactly
+    # this access pattern.
+    def _lookup_phase(self, address, is_write, payload, mutator, start):  # analyze: ignore[oblivious]
         """One line access: reads stall the core, writes are posted."""
         line_address = address * self.oram_config.block_bytes
         mem_start = self.clock.core_to_mem(self.now)

@@ -194,7 +194,7 @@ def run_cell(
         # only matters when small WPQs chain multiple drain rounds.  The
         # first round never skips, so a pinned cell is guaranteed to hit
         # its label at least once whenever the label is reachable.
-        skip = inject_rng.randint(0, 2) if wpq == "small" and round_no else 0
+        skip = inject_rng.randint(0, 2) if wpq == "small" and round_no > 0 else 0
         injector.arm(armed, skip_hits=skip)
         victim = ops_rng.randrange(span)
         crash_event: Dict[str, Any] = {"op": "crash", "point": armed,

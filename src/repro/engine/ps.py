@@ -73,6 +73,9 @@ RING_CRASH_POINTS = (
     "ring:evict-round-open",
     "ring:evict-before-end",
     "ring:evict-after-end",
+    "ring:reshuffle-round-open",
+    "ring:reshuffle-before-end",
+    "ring:reshuffle-after-end",
 )
 
 
@@ -580,12 +583,17 @@ class RingDirtyEntryPSPolicy(DirtyEntryPSPolicy):
         c._version_line = region.base + region.size_bytes
         # An EvictPath round stages (Z+S) slots + 1 metadata line per level;
         # the WPQ must hold one full path (the paper's sizing rule applied
-        # to Ring's bigger path).
+        # to Ring's bigger path).  The posmap WPQ obeys the same rule: an
+        # EvictPath can graduate a dirty entry for every block placed on
+        # the path, so a fixed floor (the old 8) is a latent overflow once
+        # stash pressure lines up more pending remaps than that on one
+        # eviction path.
         needed = (c.params.slots_per_bucket + 1) * (c.store.height + 1)
+        posmap_needed = c.params.slots_per_bucket * (c.store.height + 1)
         c.drainer = Drainer(
             c.memory,
             data_capacity=max(c.config.wpq.data_entries, needed),
-            posmap_capacity=max(c.config.wpq.posmap_entries, 8),
+            posmap_capacity=max(c.config.wpq.posmap_entries, posmap_needed),
             apply_posmap_entry=self._commit_posmap_entry,
             version_line=c._version_line,
             version_provider=lambda: c._version,
@@ -626,7 +634,10 @@ class RingDirtyEntryPSPolicy(DirtyEntryPSPolicy):
 
         c.drainer.start()
         c._checkpoint("ring:wb-round-open")
-        for bucket_idx, metadata, slot in touched:
+        # touched holds one (bucket, metadata, slot) triple per path level
+        # (height+1 of them, two pushes each); the data WPQ is sized at
+        # attach to a full path of slots+metadata, which dominates that.
+        for bucket_idx, metadata, slot in touched:  # analyze: ignore[persist-ordering]
             if backup is not None and c._backup_slot == (bucket_idx, slot):
                 address, label, _old_data, version = backup
                 block = Block(address=address, path_id=label,
@@ -713,7 +724,9 @@ class RingDirtyEntryPSPolicy(DirtyEntryPSPolicy):
         c._checkpoint("ring:evict-round-open")
         for level, bucket_idx in enumerate(c.store.path_buckets(path_id)):
             blocks, metadata = c._permuted_bucket(assignment[level])
-            for slot, block in enumerate(blocks):
+            # blocks is one bucket's Z+S slots; the whole path of
+            # slots+metadata is exactly the attach-time data WPQ sizing.
+            for slot, block in enumerate(blocks):  # analyze: ignore[persist-ordering]
                 c.drainer.push_block(
                     c.store.slot_address(bucket_idx, slot),
                     c.codec.encode(block),
@@ -722,7 +735,9 @@ class RingDirtyEntryPSPolicy(DirtyEntryPSPolicy):
                 c.store.layout.metadata_address(bucket_idx),
                 self._encode_metadata(metadata),
             )
-        for address, pending in dirty:
+        # dirty holds at most one entry per block placed on the path; the
+        # posmap WPQ is sized at attach to that same full-path bound.
+        for address, pending in dirty:  # analyze: ignore[persist-ordering]
             c.drainer.push_posmap_entry(
                 c.persistent_posmap.region.entry_address(address),
                 address, pending,
@@ -740,7 +755,10 @@ class RingDirtyEntryPSPolicy(DirtyEntryPSPolicy):
         """Early reshuffle commits atomically too."""
         c = self.c
         c.drainer.start()
-        for slot, block in enumerate(blocks):
+        c._checkpoint("ring:reshuffle-round-open")
+        # blocks is one bucket's Z+S slots; the data WPQ is sized at attach
+        # to a full path of slots+metadata, so one bucket always fits.
+        for slot, block in enumerate(blocks):  # analyze: ignore[persist-ordering]
             c.drainer.push_block(
                 c.store.slot_address(bucket_idx, slot),
                 c.codec.encode(block),
@@ -749,7 +767,9 @@ class RingDirtyEntryPSPolicy(DirtyEntryPSPolicy):
             c.store.layout.metadata_address(bucket_idx),
             self._encode_metadata(metadata),
         )
+        c._checkpoint("ring:reshuffle-before-end")
         c.drainer.end()
+        c._checkpoint("ring:reshuffle-after-end")
         c.drainer.flush(c.clock.core_to_mem(c.now))
 
     def _relieve_temp_posmap(self) -> None:
@@ -885,7 +905,9 @@ class RecursiveDirtyEntryPSPolicy(DirtyEntryPSPolicy):
             current = c.posmap.get(address)
             candidates = {current, old_path, new_path}
             best_block = None
-            for path in candidates:
+            # sorted(): ties between equal-version copies on different
+            # paths must resolve the same way in every process.
+            for path in sorted(candidates):
                 block = self._find_copy_on_path(address, path)
                 if block is not None and (
                     best_block is None or block.version > best_block.version

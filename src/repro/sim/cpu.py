@@ -49,7 +49,7 @@ class InOrderCore:
 
     @property
     def ipc(self) -> float:
-        return self.instructions / self.cycle if self.cycle else 0.0
+        return self.instructions / self.cycle if self.cycle > 0 else 0.0
 
     def seconds(self) -> float:
         """Wall-clock seconds of simulated execution."""

@@ -6,7 +6,6 @@ import pytest
 
 from repro.config import (
     CacheConfig,
-    NVMTimingConfig,
     ORAMConfig,
     PCM_TIMING,
     STTRAM_TIMING,

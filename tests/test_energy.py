@@ -12,7 +12,6 @@ from repro.energy.model import (
     EADR_ORAM,
     PS_ORAM,
     PS_ORAM_SMALL,
-    eadr_oram_inventory,
     ps_oram_inventory,
     table2_rows,
 )

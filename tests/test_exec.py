@@ -11,7 +11,7 @@ import pytest
 
 from repro.config import small_config
 from repro.exec.cache import ResultCache, code_version, point_key
-from repro.exec.faults import FaultPolicy, PointError
+from repro.exec.faults import FaultPolicy
 from repro.exec.journal import (
     RunJournal,
     format_status,

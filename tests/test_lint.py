@@ -1,0 +1,46 @@
+"""General-purpose lint gate: ruff over the whole tree.
+
+ruff is an optional dev dependency (``pip install -e .[lint]``); CI
+installs it and this test enforces a clean tree there.  Environments
+without ruff skip — the ORAM-specific rules in ``repro.analyze`` still
+run everywhere via test_analyze.py.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks"],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_no_syntax_errors_anywhere():
+    """Cheap always-on floor: every tracked .py file parses."""
+    import ast
+
+    failures = []
+    for sub in ("src", "tests", "benchmarks"):
+        root = REPO_ROOT / sub
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            try:
+                ast.parse(path.read_text(), filename=str(path))
+            except SyntaxError as exc:
+                failures.append(f"{path}: {exc}")
+    assert not failures, "\n".join(failures)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import DRAM_TIMING, PCM_TIMING, STTRAM_TIMING
+from repro.config import PCM_TIMING, STTRAM_TIMING
 from repro.mem.bank import Bank
 from repro.mem.channel import Channel
 from repro.mem.controller import NVMMainMemory

@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import small_config
 from repro.sim.multiprog import CoRunner
-from repro.util.rng import DeterministicRNG
 
 
 def _uniform_writes(controller, program_index, op_index):

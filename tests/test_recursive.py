@@ -5,7 +5,6 @@ import pytest
 from repro.config import small_config
 from repro.mem.request import RequestKind
 from repro.oram.recursive import (
-    PosMapORAM,
     RecursivePathORAM,
     pack_entry,
     unpack_entry,

@@ -148,3 +148,46 @@ class TestOverheadShape:
             ring_ps.write(rng.randrange(40), b"v")
         # Entries drain at EvictPath; occupancy stays near A + stash lag.
         assert ring_ps.temp_posmap.peak_occupancy < 6 * ring_ps.params.a
+
+
+class TestPosmapWPQSizing:
+    """EvictPath can graduate one dirty entry per block placed on the path.
+
+    The posmap WPQ used to get a fixed floor of 8 entries under small WPQ
+    configs; a path's worth of pending remaps then overflows mid-round.
+    Sizing now mirrors the data WPQ's full-path rule.
+    """
+
+    def test_capacity_covers_a_full_path(self):
+        from repro.config import WPQConfig
+
+        config = small_config(height=6, seed=3, wpq=WPQConfig(4, 4))
+        c = PSRingController(config)
+        needed = c.params.slots_per_bucket * (c.store.height + 1)
+        assert needed > 8, "config too small to exercise the old floor"
+        assert c.drainer.posmap_wpq.capacity >= needed
+
+    def test_full_path_of_dirty_entries_fits_one_round(self):
+        from repro.config import WPQConfig
+
+        config = small_config(height=6, seed=3, wpq=WPQConfig(4, 4))
+        c = PSRingController(config)
+        needed = c.params.slots_per_bucket * (c.store.height + 1)
+        region = c.persistent_posmap.region
+        c.drainer.start()
+        for address in range(needed):
+            c.drainer.push_posmap_entry(
+                region.entry_address(address), address, 0
+            )
+        c.drainer.end()
+        c.drainer.flush(0)
+
+    def test_old_floor_overflows_on_the_same_load(self):
+        from repro.errors import WPQOverflowError
+        from repro.mem.wpq import WritePendingQueue
+
+        wpq = WritePendingQueue("posmap", 8)
+        wpq.begin_round()
+        with pytest.raises(WPQOverflowError):
+            for i in range(9):
+                wpq.push(i, (i, 0))

@@ -5,7 +5,7 @@ import pytest
 from repro.config import small_config
 from repro.core.controller import PSORAMController
 from repro.oram.controller import PathORAMController
-from repro.oram.stash_analysis import StashProfile, _fit_tail, profile_stash
+from repro.oram.stash_analysis import _fit_tail, profile_stash
 
 
 class TestTailFit:
