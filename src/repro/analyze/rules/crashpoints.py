@@ -29,7 +29,10 @@ _DECLARED_NAME = re.compile(r"(^|_)(CRASH_POINTS|PIPELINE_PHASES)$")
 _CHECKPOINT_ATTR = re.compile(r"^CHECKPOINT_[A-Z_]+$")
 
 #: Directories whose atomic rounds must contain an injectable label.
-ROUND_SCOPE_DIRS = ("engine", "ring", "core", "hybrid")
+#: "integrity" keeps the integrity domain's persist-commit window honest:
+#: its INTEGRITY_CRASH_POINTS declarations must match the _checkpoint
+#: literals it fires, in both directions, like any policy's.
+ROUND_SCOPE_DIRS = ("engine", "ring", "core", "hybrid", "integrity")
 ROUND_EXCLUDED_FILES = ("core/drainer.py", "mem/wpq.py", "mem/persistence.py")
 
 

@@ -196,11 +196,13 @@ def parse_bench_args(
 ) -> argparse.Namespace:
     """Shared CLI for the ``benchmarks/bench_*.py`` module mains.
 
-    Provides ``--full``, ``--jobs``, ``--no-cache`` and ``--window``,
-    resolves the workload list, installs the execution defaults so the
-    bench's ``sweep()`` calls pick them up, and sets ``args.config`` to
-    the bench config with the requested scheduler window (depth 1 — the
-    default — is the serial pipeline; see docs/SCHEDULER.md).
+    Provides ``--full``, ``--jobs``, ``--no-cache``, ``--window`` and
+    ``--integrity``, resolves the workload list, installs the execution
+    defaults so the bench's ``sweep()`` calls pick them up, and sets
+    ``args.config`` to the bench config with the requested scheduler
+    window (depth 1 — the default — is the serial pipeline; see
+    docs/SCHEDULER.md) and, with ``--integrity``, the crash-consistent
+    integrity domain attached to every built variant (docs/INTEGRITY.md).
     """
     parser = argparse.ArgumentParser(
         description=description,
@@ -215,6 +217,10 @@ def parse_bench_args(
     parser.add_argument("--window", type=int, default=1, metavar="N",
                         help="memory-level-parallel access window depth "
                              "(1 = serial pipeline; default: %(default)s)")
+    parser.add_argument("--integrity", action="store_true",
+                        help="attach the crash-consistent integrity domain "
+                             "to every variant (digest persistence counts "
+                             "as NVM traffic; see docs/INTEGRITY.md)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -222,6 +228,10 @@ def parse_bench_args(
         parser.error(f"--window must be >= 1, got {args.window}")
     args.workloads = list(FULL_WORKLOADS if args.full else BENCH_WORKLOADS)
     args.config = windowed_config(BENCH_CONFIG, args.window)
+    if args.integrity:
+        import dataclasses
+
+        args.config = dataclasses.replace(args.config, integrity=True)
     set_execution_defaults(
         jobs=args.jobs, use_cache=False if args.no_cache else None
     )

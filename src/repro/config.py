@@ -257,6 +257,10 @@ class SystemConfig:
     # In-flight access window depth for the memory-level-parallel
     # scheduler (repro.engine.sched); 1 = today's serial pipeline.
     sched_window: int = 1
+    # Attach the crash-consistent integrity domain (repro.integrity) to
+    # built controllers; the persistence policy picks the discipline.
+    # Off by default — integrity-off runs are bit-identical to before.
+    integrity: bool = False
 
     def validate(self) -> None:
         """Check every sub-config and cross-config constraints."""
@@ -305,6 +309,7 @@ def small_config(
     stash_capacity: Optional[int] = None,
     wpq: Optional[WPQConfig] = None,
     sched_window: int = 1,
+    integrity: bool = False,
 ) -> SystemConfig:
     """A laptop-scale configuration for tests, examples and benches.
 
@@ -328,6 +333,7 @@ def small_config(
         seed=seed,
         wpq=wpq if wpq is not None else WPQConfig(),
         sched_window=sched_window,
+        integrity=integrity,
     )
     cfg.validate()
     return cfg

@@ -23,6 +23,9 @@ name               system
 ``ps-hybrid``      PS-ORAM with a write-through DRAM tree-top
 ``ring-baseline``  Ring ORAM on NVM, no crash consistency
 ``ring-ps``        crash-consistent Ring ORAM (in-place slot backup)
+``*-int``          integrity-enabled rows (baseline / naive-ps / ps / rcr-ps /
+                   eadr with the persistent Merkle integrity domain attached
+                   — docs/INTEGRITY.md)
 =================  ============================================================
 
 ``python -m repro --list-variants`` prints this matrix.
@@ -131,12 +134,59 @@ _SPECS = (
     ),
 )
 
-for _spec in _SPECS:
+
+def _with_integrity(base_factory: Callable) -> Callable:
+    """Wrap a variant factory so the built controller carries the
+    integrity domain (discipline chosen by its persistence policy)."""
+
+    def factory(config, memory=None, key=b"repro-psoram-key"):
+        from repro.integrity.domain import enable_integrity
+
+        controller = base_factory(config, memory=memory, key=key)
+        enable_integrity(controller)
+        return controller
+
+    return factory
+
+
+#: Integrity-enabled rows: same assemblies with the crash-consistent
+#: integrity domain attached (docs/INTEGRITY.md).  Registered like any
+#: other variant, so crash injection, the digest machinery and the
+#: conformance matrix pick them up with no special-casing.
+_INTEGRITY_SPECS = (
+    VariantSpec(
+        "baseline-int", "path", "volatile", "flat",
+        "Path ORAM + volatile integrity tree (tracking/audit only)",
+        _with_integrity(PathORAMController),
+    ),
+    VariantSpec(
+        "naive-ps-int", "path", "naive-flush-all", "flat",
+        "Naive-PS-ORAM + eager per-leaf integrity path persistence",
+        _with_integrity(NaivePSORAMController),
+    ),
+    VariantSpec(
+        "ps-int", "path", "dirty-entry-ps", "flat",
+        "PS-ORAM + lazy-batched persistent integrity tree",
+        _with_integrity(PSORAMController),
+    ),
+    VariantSpec(
+        "rcr-ps-int", "path", "dirty-entry-ps", "recursive",
+        "recursive PS-ORAM + lazy-batched persistent integrity tree",
+        _with_integrity(RcrPSORAMController),
+    ),
+    VariantSpec(
+        "eadr-int", "path", "eadr", "flat",
+        "eADR ORAM + integrity root persisted by the residual-energy flush",
+        _with_integrity(EADRORAMController),
+    ),
+)
+
+for _spec in _SPECS + _INTEGRITY_SPECS:
     registry.register(_spec)
 
 #: Backward-compatible name → factory view of the registry.
 VARIANTS: Dict[str, Callable] = {
-    spec.name: spec.factory for spec in _SPECS
+    spec.name: spec.factory for spec in _SPECS + _INTEGRITY_SPECS
 }
 
 #: Variants evaluated in Figure 5(a) (non-recursive systems).

@@ -239,6 +239,16 @@ def run_cell(
                                          "variant that claims support")
                 break
             result.recoveries += 1
+            # Integrity contract (docs/INTEGRITY.md): recovery must yield
+            # an image whose recomputed root matches the persisted
+            # witness *before* logical-state diffing even starts — a
+            # recovered-but-unverifiable state is a conformance failure.
+            domain = getattr(controller, "integrity", None)
+            if domain is not None and domain.recovery_violations:
+                result.violations.extend(
+                    f"{prefix}: {v}" for v in domain.recovery_violations
+                )
+                break
             check = checker.verify()
             if not check.consistent:
                 result.violations.extend(f"{prefix}: {v}"

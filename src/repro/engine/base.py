@@ -63,13 +63,15 @@ class CrashPointInfo:
     ``origin`` records which layer announces the label: ``"engine"`` for
     the variant-independent pipeline phase boundaries, ``"policy"`` for
     the persistence policy's protocol-internal checkpoints (the
-    historical ``step2:*``/``step5:*``/``ring:*`` points).  The crash
+    historical ``step2:*``/``step5:*``/``ring:*`` points), and
+    ``"integrity"`` for the integrity domain's persist-commit window
+    (:data:`repro.integrity.domain.INTEGRITY_CRASH_POINTS`).  The crash
     conformance matrix journals this so failures can be bucketed by
     layer without string-prefix guessing.
     """
 
     label: str
-    origin: str  # "engine" | "policy"
+    origin: str  # "engine" | "policy" | "integrity"
 
 
 @dataclass
@@ -129,6 +131,12 @@ class AccessEngine:
     #: and the eADR/FullNVM strawmen — is injectable without each
     #: hierarchy re-declaring the attribute.
     crash_hook = None
+
+    #: The attached integrity domain (:mod:`repro.integrity.domain`), or
+    #: None when the variant runs without integrity metadata.  Class-level
+    #: default keeps the integrity-off hot path a single attribute test
+    #: and every digest fixture byte-identical.
+    integrity = None
 
     # ------------------------------------------------------------------
     # public API
@@ -191,6 +199,8 @@ class AccessEngine:
         self._checkpoint("phase:evict-plan")
         self._writeback_phase(target, old_path)
         self._checkpoint("phase:persist-commit")
+        if self.integrity is not None:
+            self.integrity.on_persist_commit()
 
         return AccessResult(
             address=address,
@@ -412,16 +422,34 @@ class AccessEngine:
     # ------------------------------------------------------------------
 
     def crash(self) -> None:
-        """Power loss: the policy decides what survives."""
+        """Power loss: the policy decides what survives.
+
+        The integrity domain flushes *last*: the policy's ADR drain (and
+        any dependent controllers') may still store lines, and the root
+        witness must cover the image as it lands on the dead machine.
+        """
         self.policy.crash()
         self._crash_dependents()
+        if self.integrity is not None:
+            self.integrity.crash_flush()
 
     def _crash_dependents(self) -> None:
         """Hierarchy hook: propagate the crash to attached components."""
 
     def recover(self) -> bool:
-        """Attempt post-crash recovery (policy-defined)."""
-        return self.policy.recover()
+        """Attempt post-crash recovery (policy-defined).
+
+        With an integrity domain attached, the surviving image is
+        authenticated (uncached root recompute vs the persisted witness)
+        *before* the policy repairs anything, and the witness is resealed
+        over the repaired image afterwards — see docs/INTEGRITY.md.
+        """
+        if self.integrity is not None:
+            self.integrity.begin_recovery()
+        recovered = self.policy.recover()
+        if recovered and self.integrity is not None:
+            self.integrity.finish_recovery()
+        return recovered
 
     def supports_crash_consistency(self) -> bool:
         """Whether acknowledged writes survive a crash."""
@@ -433,11 +461,17 @@ class AccessEngine:
 
     def crash_point_metadata(self) -> Tuple[CrashPointInfo, ...]:
         """Every crash-injection label, annotated with its origin layer."""
-        return tuple(
+        points = tuple(
             CrashPointInfo(label, "engine") for label in PIPELINE_PHASES
         ) + tuple(
             CrashPointInfo(label, "policy") for label in self.policy.crash_points()
         )
+        if self.integrity is not None:
+            points += tuple(
+                CrashPointInfo(label, "integrity")
+                for label in self.integrity.crash_points()
+            )
+        return points
 
     def _checkpoint(self, label: str) -> None:
         """Announce a named point to an armed crash injector, if any."""

@@ -156,3 +156,7 @@ class EADRPolicy(VolatilePolicy):
 
     def supports_crash_consistency(self) -> bool:
         return True
+
+    def integrity_discipline(self) -> str:
+        """No runtime digest traffic; residual energy persists the root."""
+        return "eadr"

@@ -132,6 +132,36 @@ class PersistencePolicy:
         return ()
 
     # ------------------------------------------------------------------
+    # integrity discipline (repro.integrity, docs/INTEGRITY.md)
+    # ------------------------------------------------------------------
+
+    def integrity_discipline(self) -> str:
+        """How this policy persists integrity-tree updates.
+
+        One of :data:`repro.integrity.domain.INTEGRITY_DISCIPLINES`:
+        ``"none"`` (volatile tracking only — the baseline default),
+        ``"eager"`` (full ancestor path per dirty leaf, the Naive straw
+        man), ``"lazy"`` (one batched dirty-subtree propagation per
+        persist-commit, the PS variants), ``"eadr"`` (nothing at runtime;
+        the residual-energy flush persists the root).
+        """
+        return "none"
+
+    def integrity_crash_points(self) -> Tuple[str, ...]:
+        """Integrity-update labels this policy's discipline can fire.
+
+        Only the disciplines that persist digests during the access
+        (eager/lazy) open the persist-commit integrity window; "none"
+        never persists and "eadr" only acts at crash time, so neither
+        exposes an injectable label.
+        """
+        if self.integrity_discipline() in ("eager", "lazy"):
+            from repro.integrity.domain import INTEGRITY_CRASH_POINTS
+
+            return INTEGRITY_CRASH_POINTS
+        return ()
+
+    # ------------------------------------------------------------------
     # shared recovery helper
     # ------------------------------------------------------------------
 

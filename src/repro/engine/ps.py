@@ -523,6 +523,10 @@ class DirtyEntryPSPolicy(PersistencePolicy):
     def crash_points(self) -> Tuple[str, ...]:
         return PS_CRASH_POINTS
 
+    def integrity_discipline(self) -> str:
+        """Dirty-subtree batched persistence, sharing the WPQ/ADR domain."""
+        return "lazy"
+
 
 class NaiveFlushAllPolicy(DirtyEntryPSPolicy):
     """Naive-PS-ORAM: flush-all PosMap persistence (Section 4.2.2 footnote).
@@ -556,6 +560,10 @@ class NaiveFlushAllPolicy(DirtyEntryPSPolicy):
         padding = c.tree.path_slots - len(entries)
         entries.extend((-1, 0) for _ in range(max(0, padding)))
         return entries
+
+    def integrity_discipline(self) -> str:
+        """Flush-all spirit: a full ancestor-path write per dirty leaf."""
+        return "eager"
 
 
 class RingDirtyEntryPSPolicy(DirtyEntryPSPolicy):

@@ -61,9 +61,26 @@ def get_spec(name: str) -> VariantSpec:
         ) from None
 
 
+def _apply_config_integrity(controller, config):
+    """Honour ``config.integrity``: attach the integrity domain.
+
+    ``enable_integrity`` is idempotent, so variants whose factories
+    already attach a domain (the ``-int`` registry rows) compose with the
+    switch instead of double-wrapping.  Controllers without a persistence
+    policy (the plain non-ORAM yardstick) have no engine pipeline to hook
+    and are left untouched, so an ``--integrity`` sweep can still include
+    them as the no-integrity baseline.
+    """
+    if getattr(config, "integrity", False) and getattr(controller, "policy", None) is not None:
+        from repro.integrity.domain import enable_integrity  # lazy: avoid cycle
+
+        enable_integrity(controller)
+    return controller
+
+
 def build_variant(name: str, config, **kwargs):
     """Instantiate the named variant's controller for ``config``."""
-    return get_spec(name).make(config, **kwargs)
+    return _apply_config_integrity(get_spec(name).make(config, **kwargs), config)
 
 
 def build_scheduled(name: str, config, window: Optional[int] = None, **kwargs):
@@ -71,11 +88,14 @@ def build_scheduled(name: str, config, window: Optional[int] = None, **kwargs):
 
     ``window`` overrides ``config.sched_window``; depth 1 returns the
     bare controller (zero wrapper overhead, timing-identical to the
-    serial pipeline).
+    serial pipeline).  The integrity domain (``config.integrity``)
+    attaches to the bare controller before wrapping — the scheduler
+    drains to a barrier around crash/recover, so the domain always sees
+    a quiet machine.
     """
     from repro.engine.sched import wrap_controller  # lazy: avoid cycle
 
-    controller = get_spec(name).make(config, **kwargs)
+    controller = _apply_config_integrity(get_spec(name).make(config, **kwargs), config)
     depth = getattr(config, "sched_window", 1) if window is None else window
     return wrap_controller(controller, depth)
 

@@ -1,0 +1,31 @@
+"""Crash-consistent persistent integrity metadata (secure persistent NVM).
+
+The subsystem has two halves:
+
+* :mod:`repro.integrity.tree` — the lazy-propagation keyed Merkle tree
+  (leaf MACs eager, interior propagation batched, clean subtrees cached);
+* :mod:`repro.integrity.domain` — the persistence domain that registers
+  the tree into the engine pipeline, persists digest lines as
+  first-class NVM traffic, and enforces the recovery contract
+  (recomputed root == persisted witness).
+
+See docs/INTEGRITY.md for the design and the per-policy disciplines.
+"""
+
+from repro.integrity.domain import (
+    DEFAULT_INTEGRITY_KEY,
+    INTEGRITY_CRASH_POINTS,
+    INTEGRITY_DISCIPLINES,
+    IntegrityDomain,
+    enable_integrity,
+)
+from repro.integrity.tree import MerkleIntegrityTree
+
+__all__ = [
+    "DEFAULT_INTEGRITY_KEY",
+    "INTEGRITY_CRASH_POINTS",
+    "INTEGRITY_DISCIPLINES",
+    "IntegrityDomain",
+    "MerkleIntegrityTree",
+    "enable_integrity",
+]

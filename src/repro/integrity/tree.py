@@ -1,0 +1,195 @@
+"""Lazy-propagation keyed Merkle tree over a line-addressed NVM region.
+
+The integrity subsystem's hash tree, following the Bonsai-style update
+streamlining of Freij et al. (*Streamlining Integrity Tree Updates for
+Secure Persistent NVM*): a line write recomputes its **leaf** digest
+immediately (the MAC must cover the content that was actually written),
+but interior-node propagation is *deferred* — dirty leaves accumulate in
+a set and :meth:`MerkleIntegrityTree.propagate` recomputes each affected
+ancestor exactly once, however many dirty leaves share it.  Clean
+subtrees are never rehashed: interior digests are cached in the sparse
+node store and only recomputed when a descendant changed.
+
+Readers (:attr:`root`, :meth:`verify_line`, :meth:`audit`) propagate
+first, so the lazy tree is observationally identical to the old eager
+one — just cheaper: ``k`` line writes into one bucket cost ``k`` leaf
+hashes plus **one** ancestor walk instead of ``k``.
+
+:meth:`recompute_root` is the deliberately uncached reference
+implementation — a from-scratch walk over the written lines in the
+region that never consults the node cache.  Crash recovery uses it to
+authenticate a recovered image against the persisted root witness
+(:mod:`repro.integrity.domain`), and the differential test in
+``tests/test_integrity.py`` brute-forces the cached tree against it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crypto.prf import Prf
+from repro.mem.controller import NVMMainMemory
+
+
+class MerkleIntegrityTree:
+    """Incremental keyed Merkle tree with lazy interior-node propagation."""
+
+    def __init__(self, memory: NVMMainMemory, base: int, size_bytes: int,
+                 key: bytes = b"integrity-key"):
+        if size_bytes <= 0:
+            raise ValueError("region must be non-empty")
+        self.memory = memory
+        self.base = base
+        self.line_bytes = memory.line_bytes
+        self.num_leaves = max(1, -(-size_bytes // self.line_bytes))
+        self.height = max(1, math.ceil(math.log2(self.num_leaves)))
+        self._prf = Prf(key, digest_size=16).derive("merkle")
+        # Sparse node store: (level, index) -> digest.  Level 0 = leaves.
+        self._nodes: Dict[Tuple[int, int], bytes] = {}
+        # Leaves whose ancestor paths are stale (leaf digests are always
+        # fresh — update_line hashes the line content at write time).
+        self._dirty: Set[int] = set()
+        self._empty: Dict[int, bytes] = {}
+        self.updates = 0
+        #: Interior-node PRF evaluations performed by propagation — the
+        #: caching/batching metric the integrity bench records.
+        self.node_hashes = 0
+
+    # -- hashing ------------------------------------------------------------
+
+    def _leaf_digest(self, leaf_index: int) -> bytes:
+        address = self.base + leaf_index * self.line_bytes
+        content = self.memory.load_line(address) or b""
+        return self._prf.evaluate(b"L" + leaf_index.to_bytes(8, "little") + content)
+
+    def _empty_digest(self, level: int) -> bytes:
+        digest = self._empty.get(level)
+        if digest is None:
+            digest = self._prf.evaluate(b"E" + level.to_bytes(4, "little"))
+            self._empty[level] = digest
+        return digest
+
+    def _interior_digest(self, level: int, left: bytes, right: bytes) -> bytes:
+        return self._prf.evaluate(b"N" + level.to_bytes(4, "little") + left + right)
+
+    def _node(self, level: int, index: int) -> bytes:
+        digest = self._nodes.get((level, index))
+        return digest if digest is not None else self._empty_digest(level)
+
+    def node(self, level: int, index: int) -> bytes:
+        """Current digest of one (propagated) tree node."""
+        return self._node(level, index)
+
+    # -- updates --------------------------------------------------------------
+
+    def _leaf_of(self, address: int) -> int:
+        leaf = (address - self.base) // self.line_bytes
+        if not 0 <= leaf < self.num_leaves:
+            raise ValueError(f"address {address:#x} outside integrity region")
+        return leaf
+
+    def update_line(self, address: int) -> None:
+        """Re-hash one line's leaf now; defer the ancestor walk.
+
+        The leaf MAC snapshots the content at write time (later tampering
+        with the image is still caught); the O(log n) interior update is
+        batched into the next :meth:`propagate`.
+        """
+        leaf = self._leaf_of(address)
+        self._nodes[(0, leaf)] = self._leaf_digest(leaf)
+        self._dirty.add(leaf)
+        self.updates += 1
+
+    @property
+    def dirty_leaves(self) -> Tuple[int, ...]:
+        """Leaves whose ancestor paths are pending propagation (sorted)."""
+        return tuple(sorted(self._dirty))
+
+    def ancestors(self, leaf: int) -> List[Tuple[int, int]]:
+        """The (level, index) interior nodes above ``leaf``, root last."""
+        out = []
+        index = leaf
+        for level in range(1, self.height + 1):
+            index //= 2
+            out.append((level, index))
+        return out
+
+    def propagate(self) -> List[Tuple[int, int]]:
+        """Batch-recompute every stale digest; one hash per affected node.
+
+        Returns the recomputed nodes as sorted (level, index) pairs —
+        leaves first, then each interior level up to the root — which is
+        exactly the set of node lines a lazy-batched persistence
+        discipline must write out.
+        """
+        if not self._dirty:
+            return []
+        touched: List[Tuple[int, int]] = [(0, leaf) for leaf in sorted(self._dirty)]
+        frontier = sorted({leaf // 2 for leaf in self._dirty})
+        self._dirty.clear()
+        for level in range(1, self.height + 1):
+            for index in frontier:
+                left = self._node(level - 1, 2 * index)
+                right = self._node(level - 1, 2 * index + 1)
+                self._nodes[(level, index)] = self._interior_digest(level, left, right)
+                self.node_hashes += 1
+                touched.append((level, index))
+            frontier = sorted({index // 2 for index in frontier})
+        return touched
+
+    @property
+    def root(self) -> bytes:
+        """The root digest — the value the persistence domain protects."""
+        self.propagate()
+        return self._node(self.height, 0)
+
+    # -- verification ---------------------------------------------------------
+
+    def verify_line(self, address: int) -> bool:
+        """Authenticate one line against the tree (detects replay)."""
+        leaf = (address - self.base) // self.line_bytes
+        if not 0 <= leaf < self.num_leaves:
+            return False
+        return self._node(0, leaf) == self._leaf_digest(leaf)
+
+    def audit(self, expected_root: Optional[bytes] = None) -> List[int]:
+        """Full image walk: returns byte addresses of every corrupt line.
+
+        If ``expected_root`` is given it is checked first — a mismatch with
+        a clean line walk indicates tampering with the tree itself.
+        """
+        corrupt = []
+        for leaf in range(self.num_leaves):
+            stored = self._nodes.get((0, leaf))
+            if stored is None:
+                continue  # never-tracked line
+            if stored != self._leaf_digest(leaf):
+                corrupt.append(self.base + leaf * self.line_bytes)
+        if expected_root is not None and expected_root != self.root:
+            corrupt.append(-1)  # sentinel: root mismatch
+        return corrupt
+
+    # -- uncached reference -----------------------------------------------
+
+    def recompute_root(self) -> bytes:
+        """From-scratch root over the current image; ignores every cache.
+
+        Pure: touches neither the node store nor the dirty set.  Recovery
+        authenticates a post-crash image by comparing this against the
+        persisted root witness; a tracking gap or torn write shows up as
+        a mismatch even when every cached digest is self-consistent.
+        """
+        level_digests: Dict[int, bytes] = {}
+        span = self.num_leaves * self.line_bytes
+        for address in self.memory.written_lines(self.base, span):
+            leaf = (address - self.base) // self.line_bytes
+            level_digests[leaf] = self._leaf_digest(leaf)
+        for level in range(1, self.height + 1):
+            parents: Dict[int, bytes] = {}
+            for index in sorted({child // 2 for child in level_digests}):
+                left = level_digests.get(2 * index, self._empty_digest(level - 1))
+                right = level_digests.get(2 * index + 1, self._empty_digest(level - 1))
+                parents[index] = self._interior_digest(level, left, right)
+            level_digests = parents
+        return level_digests.get(0, self._empty_digest(self.height))

@@ -13,7 +13,7 @@ paper).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.config import NVMTimingConfig
 from repro.mem.bank import MAX_BOUNDARIES, reserve_interval
@@ -57,12 +57,19 @@ class NVMMainMemory:
         # Functional image: line address -> bytes. Sparse, so a 4GB
         # configured capacity costs nothing until written.
         self._image: Dict[int, bytes] = {}
+        #: Optional hook called with the byte address after every
+        #: functional line store (store_line and the issue_path write
+        #: fast path alike).  The integrity domain registers here to keep
+        #: leaf MACs current without monkey-patching the store methods.
+        self.line_observer: Optional[Callable[[int], None]] = None
 
     # -- functional store -----------------------------------------------------
 
     def store_line(self, address: int, data: bytes) -> None:
         """Write the functional content of one line (no timing)."""
         self._image[address // self.line_bytes] = bytes(data)
+        if self.line_observer is not None:
+            self.line_observer(address)
 
     def load_line(self, address: int) -> Optional[bytes]:
         """Read the functional content of one line (no timing)."""
@@ -207,6 +214,7 @@ class NVMMainMemory:
         energy_acc = self.energy_pj
         traffic = self.traffic
         image = self._image
+        line_observer = self.line_observer
         is_write = access is Access.WRITE
         overlap = self._overlap
         dispatch_intervals = self._dispatch_intervals
@@ -299,6 +307,8 @@ class NVMMainMemory:
                     if data is not None:
                         traffic.record_cell_flips(image.get(line) or b"", data)
                         image[line] = bytes(data)
+                        if line_observer is not None:
+                            line_observer(address)
         self._dispatch_free_at = dispatch_free
         self.energy_pj = energy_acc
         traffic.record_burst(access, kind, len(addresses), write_lines if is_write else None)

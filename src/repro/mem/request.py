@@ -28,6 +28,7 @@ class RequestKind(enum.Enum):
     PERSIST = "persist"  # WPQ drain write
     ONCHIP_NVM = "onchip_nvm"  # FullNVM stash/PosMap built from NVM cells
     PLAIN = "plain"  # non-ORAM baseline access
+    INTEGRITY = "integrity"  # Merkle digest / root witness persistence
 
     def __str__(self) -> str:  # pragma: no cover - repr convenience
         return self.value

@@ -1,150 +1,43 @@
-"""Merkle integrity tree over the ORAM image (optional extension).
+"""Compatibility shim for the old bolt-on integrity API (deprecated).
 
-The paper's related work (Triad-NVM, SuperMem, Yang et al.) persists
-integrity trees for secure NVM; PS-ORAM itself assumes integrity is
-handled by those schemes.  This module provides the missing piece for a
-full secure-memory stack: a Merkle tree over the ORAM bucket lines whose
-*root* is kept in the persistence domain, so after a crash the recovered
-image can be authenticated before the ORAM resumes.
+The integrity tree grew into a real subsystem: :mod:`repro.integrity`
+holds the lazy-propagation Merkle tree (:mod:`repro.integrity.tree`) and
+the crash-consistent persistence domain (:mod:`repro.integrity.domain`)
+that registers into the engine pipeline, persists digest lines as
+first-class NVM traffic, and enforces the recovery contract (recomputed
+root == persisted witness).  See docs/INTEGRITY.md.
 
-Design:
+This module survives only so historical imports keep working:
 
-* one leaf digest per NVM line (bucket slot or metadata line), computed
-  with the keyed PRF — an attacker without the key cannot forge digests;
-* interior nodes hash their children pairwise up to a single root;
-* the tree is maintained *incrementally*: a line write dirties one leaf
-  and its ancestor path (O(log n) rehash), matching how hardware updates
-  Merkle caches;
-* ``root`` is the value a PS-ORAM WPQ round would persist; ``verify_line``
-  authenticates one line against the current root, ``audit`` re-walks the
-  whole image.
+* :class:`MerkleIntegrityTree` is re-exported from the new package;
+* :func:`attach_integrity` — the old monkey-patch that wrapped
+  ``memory.store_line`` — now delegates to
+  :func:`repro.integrity.enable_integrity`.  It returns the tree (the
+  old contract) with ``tree.detach`` bound to the domain's idempotent
+  ``detach``; the historical double-``detach()`` bug (the first call
+  restored the *wrapped* store, so a second call re-installed the wrap)
+  cannot recur because nothing is monkey-patched any more.
 
-The integrity tree is advisory in this reproduction (the cipher's MAC
-already detects tampering per line); its value is detecting *replay* —
-an attacker substituting a stale-but-authentic line — which per-line MACs
-cannot catch but a root hash can.
+New code should call :func:`repro.integrity.enable_integrity` directly
+and keep the returned :class:`~repro.integrity.domain.IntegrityDomain`.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional
+from repro.integrity.domain import DEFAULT_INTEGRITY_KEY, enable_integrity
+from repro.integrity.tree import MerkleIntegrityTree
 
-from repro.crypto.prf import Prf
-from repro.mem.controller import NVMMainMemory
-
-
-class MerkleIntegrityTree:
-    """Incremental keyed Merkle tree over a line-addressed region."""
-
-    def __init__(self, memory: NVMMainMemory, base: int, size_bytes: int,
-                 key: bytes = b"integrity-key"):
-        if size_bytes <= 0:
-            raise ValueError("region must be non-empty")
-        self.memory = memory
-        self.base = base
-        self.line_bytes = memory.line_bytes
-        self.num_leaves = max(1, -(-size_bytes // self.line_bytes))
-        self.height = max(1, math.ceil(math.log2(self.num_leaves)))
-        self._prf = Prf(key, digest_size=16).derive("merkle")
-        # Sparse node store: (level, index) -> digest.  Level 0 = leaves.
-        self._nodes: Dict[tuple, bytes] = {}
-        self.updates = 0
-
-    # -- hashing ------------------------------------------------------------
-
-    def _leaf_digest(self, leaf_index: int) -> bytes:
-        address = self.base + leaf_index * self.line_bytes
-        content = self.memory.load_line(address) or b""
-        return self._prf.evaluate(b"L" + leaf_index.to_bytes(8, "little") + content)
-
-    def _empty_digest(self, level: int) -> bytes:
-        return self._prf.evaluate(b"E" + level.to_bytes(4, "little"))
-
-    def _node(self, level: int, index: int) -> bytes:
-        digest = self._nodes.get((level, index))
-        return digest if digest is not None else self._empty_digest(level)
-
-    # -- updates --------------------------------------------------------------
-
-    def update_line(self, address: int) -> None:
-        """Re-hash one line's leaf and its ancestor path (O(log n))."""
-        leaf = (address - self.base) // self.line_bytes
-        if not 0 <= leaf < self.num_leaves:
-            raise ValueError(f"address {address:#x} outside integrity region")
-        self._nodes[(0, leaf)] = self._leaf_digest(leaf)
-        index = leaf
-        for level in range(1, self.height + 1):
-            left = self._node(level - 1, (index // 2) * 2)
-            right = self._node(level - 1, (index // 2) * 2 + 1)
-            index //= 2
-            self._nodes[(level, index)] = self._prf.evaluate(
-                b"N" + level.to_bytes(4, "little") + left + right
-            )
-        self.updates += 1
-
-    @property
-    def root(self) -> bytes:
-        """The root digest — what the persistence domain would protect."""
-        return self._node(self.height, 0)
-
-    # -- verification ---------------------------------------------------------
-
-    def verify_line(self, address: int) -> bool:
-        """Authenticate one line against the tree (detects replay)."""
-        leaf = (address - self.base) // self.line_bytes
-        if not 0 <= leaf < self.num_leaves:
-            return False
-        return self._node(0, leaf) == self._leaf_digest(leaf)
-
-    def audit(self, expected_root: Optional[bytes] = None) -> List[int]:
-        """Full image walk: returns byte addresses of every corrupt line.
-
-        If ``expected_root`` is given it is checked first — a mismatch with
-        a clean line walk indicates tampering with the tree itself.
-        """
-        corrupt = []
-        for leaf in range(self.num_leaves):
-            stored = self._nodes.get((0, leaf))
-            if stored is None:
-                continue  # never-tracked line
-            if stored != self._leaf_digest(leaf):
-                corrupt.append(self.base + leaf * self.line_bytes)
-        if expected_root is not None and expected_root != self.root:
-            corrupt.append(-1)  # sentinel: root mismatch
-        return corrupt
+__all__ = ["MerkleIntegrityTree", "attach_integrity"]
 
 
-def attach_integrity(controller, key: bytes = b"integrity-key") -> MerkleIntegrityTree:
-    """Wrap a controller's NVM with an auto-updating integrity tree.
+def attach_integrity(controller, key: bytes = DEFAULT_INTEGRITY_KEY) -> MerkleIntegrityTree:
+    """Deprecated: attach the integrity domain; returns its tree.
 
-    Every functional line store refreshes the tree, so ``tree.root`` always
-    authenticates the current image.  Returns the tree; detach by calling
-    ``tree.detach()``.
+    Thin shim over :func:`repro.integrity.enable_integrity` for callers
+    written against the old bolt-on API.  The returned tree carries a
+    ``detach()`` bound to the domain (safe to call any number of times).
     """
-    memory = controller.memory
-    size = max(
-        (max(memory._image) + 1) * memory.line_bytes if memory._image else memory.line_bytes,
-        getattr(getattr(controller, "layout", None), "total_bytes", 0) or 0,
-        1 << 20,
-    )
-    tree = MerkleIntegrityTree(memory, base=0, size_bytes=size, key=key)
-    original_store = memory.store_line
-
-    def tracked_store(address: int, data: bytes) -> None:
-        original_store(address, data)
-        if address < tree.base + tree.num_leaves * tree.line_bytes:
-            tree.update_line(address)
-
-    memory.store_line = tracked_store  # type: ignore[assignment]
-
-    def detach() -> None:
-        memory.store_line = original_store  # type: ignore[assignment]
-
-    tree.detach = detach  # type: ignore[attr-defined]
-    # Seed digests for the existing image.
-    for line in list(memory._image):
-        address = line * memory.line_bytes
-        if address < tree.base + tree.num_leaves * tree.line_bytes:
-            tree.update_line(address)
+    domain = enable_integrity(controller, key=key)
+    tree = domain.tree
+    tree.detach = domain.detach  # type: ignore[attr-defined]
     return tree

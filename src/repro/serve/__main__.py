@@ -30,7 +30,7 @@ def _cmd_serve(args) -> int:
     service = ShardedKVService(
         shards=args.shards, variant=args.variant, height=args.height,
         batch_max=args.batch_max, seed=args.seed, mode="thread",
-        window=args.window,
+        window=args.window, integrity=args.integrity,
     ).start()
     print(f"serving {args.shards} x {args.variant} shard(s); "
           "commands: PUT <key> <value> | GET <key> | DEL <key> | "
@@ -77,7 +77,7 @@ def _cmd_bench(args) -> int:
     result = run_load(
         shards=args.shards, clients=args.clients, total_ops=args.ops,
         variant=args.variant, height=args.height, batch_max=args.batch_max,
-        seed=args.seed, window=args.window,
+        seed=args.seed, window=args.window, integrity=args.integrity,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -99,7 +99,7 @@ def _cmd_conformance(args) -> int:
 
     result = run_service_cell(
         shards=args.shards, variant=args.variant, point=args.point,
-        rounds=args.rounds, seed=args.seed,
+        rounds=args.rounds, seed=args.seed, integrity=args.integrity,
     )
     print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     if not result.consistent:
@@ -139,6 +139,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         p.add_argument("--window", type=int, default=1,
                        help="in-flight access window depth per shard "
                             "(1 = serial pipeline)")
+        p.add_argument("--integrity", action="store_true",
+                       help="attach the crash-consistent integrity domain "
+                            "to every shard (docs/INTEGRITY.md)")
 
     p_serve = sub.add_parser("serve", help="interactive thread-mode service")
     common(p_serve)

@@ -77,7 +77,8 @@ class ServiceCellResult:
         return cls(**payload)
 
 
-def _build_service(shards, variant, height, batch_max, seed) -> ShardedKVService:
+def _build_service(shards, variant, height, batch_max, seed,
+                   integrity=False) -> ShardedKVService:
     return ShardedKVService(
         shards=shards,
         variant=variant,
@@ -85,6 +86,7 @@ def _build_service(shards, variant, height, batch_max, seed) -> ShardedKVService
         batch_max=batch_max,
         seed=seed,
         mode="inline",
+        integrity=integrity,
     ).start()
 
 
@@ -118,6 +120,7 @@ def run_service_cell(
     ops_per_burst: int = 24,
     batch_max: int = 4,
     num_keys: int = 12,
+    integrity: bool = False,
 ) -> ServiceCellResult:
     """Run one service-crash conformance cell; see the module docstring.
 
@@ -129,7 +132,8 @@ def run_service_cell(
     ops_rng = cell_rng.substream("service-ops")
     inject_rng = cell_rng.substream("service-inject")
 
-    service = _build_service(shards, variant, height, batch_max, seed)
+    service = _build_service(shards, variant, height, batch_max, seed,
+                             integrity)
     supports = all(
         worker.controller.supports_crash_consistency()
         for worker in service.workers
@@ -220,6 +224,19 @@ def run_service_cell(
                 )
                 break
             result.recoveries += 1
+            # Integrity contract (docs/INTEGRITY.md): a shard that
+            # recovers to an unverifiable image — recomputed Merkle root
+            # differing from the persisted witness — is a conformance
+            # failure even before any logical read-back.
+            for worker in service.workers:
+                domain = getattr(worker.controller, "integrity", None)
+                if domain is not None and domain.recovery_violations:
+                    result.violations.extend(
+                        f"{prefix}: shard{worker.index}: {v}"
+                        for v in domain.recovery_violations
+                    )
+            if result.violations:
+                break
             violations = _verify(service, reference, window, keys, prefix)
             if violations:
                 result.violations.extend(violations)
@@ -233,7 +250,8 @@ def run_service_cell(
                 )
                 break
             # Honest failure is conformant; the service restarts empty.
-            service = _build_service(shards, variant, height, batch_max, seed)
+            service = _build_service(shards, variant, height, batch_max, seed,
+                                     integrity)
             reference.clear()
 
     status = service.status()

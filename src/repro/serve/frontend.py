@@ -57,6 +57,7 @@ class ShardedKVService:
         mode: str = "thread",
         pad_batches: bool = False,
         window: int = 1,
+        integrity: bool = False,
     ):
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -76,6 +77,7 @@ class ShardedKVService:
                 key=key,
                 pad_batches=pad_batches,
                 window=window,
+                integrity=integrity,
             )
             for index in range(shards)
         ]

@@ -74,6 +74,7 @@ def run_load(
     read_fraction: float = 0.7,
     service: Optional[ShardedKVService] = None,
     window: int = 1,
+    integrity: bool = False,
 ) -> LoadResult:
     """Drive one deterministic closed-loop run; see the module docstring."""
     if service is None:
@@ -83,7 +84,7 @@ def run_load(
             shards=shards, variant=variant, height=height,
             directory_buckets=max(32, 2 * num_keys),
             batch_max=batch_max, seed=seed, mode="inline",
-            window=window,
+            window=window, integrity=integrity,
         ).start()
     rng = DeterministicRNG(seed)
     keys = [f"item-{index}" for index in range(num_keys)]

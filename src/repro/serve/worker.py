@@ -52,9 +52,15 @@ class ShardWorker:
         key: bytes = b"repro-psoram-key",
         pad_batches: bool = False,
         window: int = 1,
+        integrity: bool = False,
     ):
         self.index = index
         self.variant = variant
+        #: When set, the shard's engine carries the crash-consistent
+        #: integrity domain (docs/INTEGRITY.md): digest lines persist as
+        #: first-class NVM traffic and recovery additionally requires the
+        #: recomputed Merkle root to match the persisted witness.
+        self.integrity = integrity
         #: In-flight access window depth for the memory-level-parallel
         #: scheduler (1 = serial).  The batch planner is the natural
         #: feeder: a planned batch's loads/commits stream into the window
@@ -72,7 +78,8 @@ class ShardWorker:
         #: shard RNGs never correlate, stable across restarts.
         self.config_seed = DeterministicRNG(seed).substream(f"shard-{index}").seed
         self.config = small_config(
-            height=height, seed=self.config_seed, sched_window=window
+            height=height, seed=self.config_seed, sched_window=window,
+            integrity=integrity,
         )
         controller = build_scheduled(variant, self.config, key=key)
         self.store = ObliviousKVStore(

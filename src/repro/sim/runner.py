@@ -23,6 +23,11 @@ def run_experiment(
     ``warmup_references`` records are replayed first and then all timing and
     traffic counters reset, so cold-tree effects do not skew steady-state
     comparisons.
+
+    ``config.integrity`` rides through :func:`build_variant`: the built
+    controller carries the crash-consistent integrity domain and its
+    digest persistence shows up in the NVM write counts and the
+    ``integrity_*`` extra stats (docs/INTEGRITY.md).
     """
     controller = build_variant(variant, config)
     if getattr(config, "sched_window", 1) > 1:
@@ -65,6 +70,8 @@ def run_experiment(
             "backups_created",
             "posmap_entries_persisted",
             "background_evictions",
+            "integrity_commits",
+            "integrity_node_writes",
         ):
             extra[key] = stats.get(key)
 

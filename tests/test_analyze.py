@@ -227,6 +227,49 @@ class TestCrashPointCoverage:
         )
         assert any("announces no checkpoint" in f.message for f in active(result))
 
+    def test_integrity_declared_point_without_checkpoint(self, tmp_path):
+        """An INTEGRITY_CRASH_POINTS label the domain never fires via
+        _checkpoint is a cell the matrix silently never tests — R2 flags
+        it just like a policy's declaration drift."""
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "integrity/domain.py": (
+                    "INTEGRITY_CRASH_POINTS = (\n"
+                    "    'integrity:before-propagate',\n"
+                    "    'integrity:after-persist',\n"
+                    ")\n"
+                    "class IntegrityDomain:\n"
+                    "    def on_persist_commit(self):\n"
+                    "        self.c._checkpoint('integrity:before-propagate')\n"
+                    "        self._persist_root()\n"
+                )
+            },
+            rules=["R2"],
+        )
+        messages = " | ".join(f.message for f in active(result))
+        assert "'integrity:after-persist'" in messages
+        assert "declared but no _checkpoint" in messages
+
+    def test_integrity_round_in_scope_for_round_coverage(self, tmp_path):
+        """integrity/ is a ROUND_SCOPE_DIR: an atomic WPQ round opened by
+        the domain must announce an injectable label while open."""
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "integrity/bad.py": (
+                    "def commit(self):\n"
+                    "    c = self.c\n"
+                    "    c.drainer.start()\n"
+                    "    c.drainer.push_block(1, b'x')\n"
+                    "    c.drainer.end()\n"
+                    "    c.drainer.flush(0)\n"
+                )
+            },
+            rules=["R2"],
+        )
+        assert any("announces no checkpoint" in f.message for f in active(result))
+
     def test_checkpoint_class_attr_counts_as_injected(self, tmp_path):
         result = analyze_fixture(
             tmp_path,

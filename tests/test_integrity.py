@@ -1,11 +1,13 @@
-"""Tests for the Merkle integrity tree extension."""
+"""Tests for the integrity subsystem: tree, domain, and the legacy shim."""
+
+import random
 
 import pytest
 
 from repro.config import PCM_TIMING, small_config
 from repro.core.controller import PSORAMController
+from repro.integrity import MerkleIntegrityTree, enable_integrity
 from repro.mem.controller import NVMMainMemory
-from repro.oram.integrity import MerkleIntegrityTree, attach_integrity
 
 
 @pytest.fixture
@@ -78,34 +80,173 @@ class TestMerkleTree:
         assert t.audit(expected_root=b"wrong") == [-1]
 
 
-class TestAttachedIntegrity:
+class TestLazyPropagation:
+    """The cached lazy tree against the uncached reference implementation."""
+
+    def test_dirty_leaves_accumulate_until_propagate(self, tree):
+        t, memory = tree
+        memory.store_line(0, b"a")
+        t.update_line(0)
+        memory.store_line(64, b"b")
+        t.update_line(64)
+        assert t.dirty_leaves == (0, 1)
+        touched = t.propagate()
+        assert t.dirty_leaves == ()
+        # Leaves first, then one entry per affected interior node.
+        assert (0, 0) in touched and (0, 1) in touched
+        assert touched[-1] == (t.height, 0)
+
+    def test_shared_ancestors_hashed_once_per_batch(self, tree):
+        """k sibling-leaf writes cost one ancestor walk, not k."""
+        t, memory = tree
+        memory.store_line(0, b"a")
+        t.update_line(0)
+        memory.store_line(64, b"b")
+        t.update_line(64)
+        t.propagate()
+        # Leaves 0 and 1 share every ancestor: exactly height hashes.
+        assert t.node_hashes == t.height
+
+    def test_brute_force_differential_vs_uncached(self):
+        """Random update batches: cached root == from-scratch root, always —
+        and the cache does strictly less interior hashing than recompute."""
+        memory = NVMMainMemory(PCM_TIMING)
+        t = MerkleIntegrityTree(memory, base=0, size_bytes=256 * 64)
+        rng = random.Random(1234)
+        uncached_hashes = 0
+        original = t._interior_digest
+        for _ in range(20):
+            for _ in range(rng.randrange(1, 6)):
+                line = rng.randrange(256)
+                memory.store_line(line * 64, bytes([rng.randrange(256)]) * 8)
+                t.update_line(line * 64)
+            calls = [0]
+
+            def counting(level, left, right):
+                calls[0] += 1
+                return original(level, left, right)
+
+            t._interior_digest = counting
+            reference_root = t.recompute_root()
+            t._interior_digest = original
+            uncached_hashes += calls[0]
+            assert t.root == reference_root
+            assert t.audit(expected_root=reference_root) == []
+        assert t.node_hashes < uncached_hashes
+
+    def test_recompute_root_is_pure(self, tree):
+        t, memory = tree
+        memory.store_line(0, b"x")
+        t.update_line(0)
+        before_dirty = t.dirty_leaves
+        before_hashes = t.node_hashes
+        t.recompute_root()
+        assert t.dirty_leaves == before_dirty
+        assert t.node_hashes == before_hashes
+
+
+class TestIntegrityDomain:
+    """The crash-consistent domain attached through the engine pipeline."""
+
+    def _controller(self):
+        return PSORAMController(small_config(height=5, seed=2))
+
     def test_oram_under_integrity_protection(self):
-        controller = PSORAMController(small_config(height=5, seed=2))
-        tree = attach_integrity(controller)
+        controller = self._controller()
+        domain = enable_integrity(controller)
         controller.write(1, b"protected")
         assert controller.read(1).data.rstrip(b"\x00") == b"protected"
-        assert tree.audit() == []
-        assert tree.updates > 0
-        tree.detach()
+        assert domain.tree.audit() == []
+        assert domain.tree.updates > 0
+        domain.detach()
 
     def test_attack_on_image_detected(self):
-        controller = PSORAMController(small_config(height=5, seed=2))
-        tree = attach_integrity(controller)
+        controller = self._controller()
+        domain = enable_integrity(controller)
         controller.write(1, b"protected")
+        tree = domain.tree
         root = tree.root
-        # Attacker flips a line behind the tree's back.
-        victim = next(iter(controller.memory._image))
+        # Attacker flips a protected line behind the tree's back.
+        victim = next(
+            line for line in controller.memory._image
+            if line * 64 < domain.protect_bytes
+        )
         controller.memory._image[victim] = b"evil"
         corrupt = tree.audit(expected_root=root)
         assert victim * 64 in corrupt
-        tree.detach()
+        domain.detach()
 
     def test_survives_crash_recovery_cycle(self):
-        controller = PSORAMController(small_config(height=5, seed=2))
-        tree = attach_integrity(controller)
+        controller = self._controller()
+        domain = enable_integrity(controller)
         controller.write(1, b"before")
         controller.crash()
-        controller.recover()
+        assert controller.recover()
+        assert domain.recovery_violations == []
         controller.write(2, b"after")
+        assert domain.tree.audit() == []
+        domain.detach()
+
+    def test_enable_is_idempotent(self):
+        controller = self._controller()
+        domain = enable_integrity(controller)
+        assert enable_integrity(controller) is domain
+        domain.detach()
+
+    def test_detach_is_idempotent(self):
+        """Regression: the old shim's double-detach re-installed the wrap."""
+        controller = self._controller()
+        domain = enable_integrity(controller)
+        domain.detach()
+        domain.detach()  # must be a harmless no-op
+        assert controller.memory.line_observer is None
+        assert controller.integrity is None
+        # Writes after a double detach are plain, untracked stores.
+        updates = domain.tree.updates
+        controller.write(3, b"untracked")
+        assert domain.tree.updates == updates
+
+    def test_policy_less_controller_rejected(self):
+        memory = NVMMainMemory(PCM_TIMING)
+
+        class Bare:
+            pass
+
+        bare = Bare()
+        bare.memory = memory
+        with pytest.raises(ValueError):
+            enable_integrity(bare)
+
+    def test_commit_persists_root_witness(self):
+        controller = self._controller()
+        domain = enable_integrity(controller)
+        controller.write(1, b"payload")
+        assert domain.root_sequence > 0
+        assert domain.load_persisted_root() == domain.tree.recompute_root()
+        assert controller.stats.get("integrity_commits") >= 1
+        domain.detach()
+
+    def test_crash_points_follow_discipline(self):
+        controller = self._controller()
+        domain = enable_integrity(controller)
+        assert domain.discipline == "lazy"
+        labels = controller.crash_points()
+        for label in domain.crash_points():
+            assert label in labels
+        domain.detach()
+
+
+class TestDeprecatedShim:
+    """`repro.oram.integrity.attach_integrity` keeps the old contract."""
+
+    def test_attach_returns_tree_with_detach(self):
+        from repro.oram.integrity import attach_integrity
+
+        controller = PSORAMController(small_config(height=5, seed=2))
+        tree = attach_integrity(controller)
+        assert isinstance(tree, MerkleIntegrityTree)
+        controller.write(1, b"via-shim")
         assert tree.audit() == []
         tree.detach()
+        tree.detach()  # the historical double-detach bug: now a no-op
+        assert controller.memory.line_observer is None
