@@ -75,11 +75,19 @@ def bench_variant(
     height: int = BENCH_HEIGHT,
     window: int = DEFAULT_WINDOW,
     channels: int = DEFAULT_CHANNELS,
+    segment: bool = True,
+    lookahead: bool = True,
 ) -> Dict[str, float]:
     """Time ``measured`` accesses of one variant after ``warmup``."""
     from repro.engine.registry import build_scheduled
 
-    config = small_config(height=height, channels=channels, sched_window=window)
+    config = small_config(
+        height=height,
+        channels=channels,
+        sched_window=window,
+        sched_segment=segment,
+        sched_lookahead=lookahead,
+    )
     controller = build_scheduled(name, config)
     rng = DeterministicRNG(99)
 
@@ -135,6 +143,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--channels", type=int, default=DEFAULT_CHANNELS,
                         metavar="N",
                         help="memory channels (default: %(default)s)")
+    parser.add_argument("--hazard-model", choices=["segment", "whole-path"],
+                        default="segment",
+                        help="window hazard rule: bucket-segment floors "
+                             "(default) or PR 7's whole-path serialization")
+    parser.add_argument("--no-lookahead", action="store_true",
+                        help="disable the speculative posmap lookahead")
     parser.add_argument("--output", default="BENCH_hotpath.json", metavar="PATH",
                         help="result JSON path (default: %(default)s)")
     parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR, metavar="N",
@@ -152,18 +166,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     warmup = QUICK_WARMUP if args.quick else WARMUP_ACCESSES
     measured = QUICK_MEASURED if args.quick else MEASURED_ACCESSES
+    segment = args.hazard_model == "segment"
+    lookahead = not args.no_lookahead
 
     results = {}
     for name in args.variants:
-        results[name] = bench_variant(
-            name, warmup, measured, window=args.window, channels=args.channels
+        row = bench_variant(
+            name, warmup, measured, window=args.window, channels=args.channels,
+            segment=segment, lookahead=lookahead,
         )
-        row = results[name]
+        if args.window > 1:
+            # Identical trace on the serial pipeline: the modeled speedup
+            # the window (and its hazard model) buys on this workload.
+            serial = bench_variant(
+                name, warmup, measured, window=1, channels=args.channels
+            )
+            row["modeled_serial_cycles"] = serial["modeled_cycles"]
+            row["modeled_speedup_vs_serial"] = round(
+                serial["modeled_cycles"] / row["modeled_cycles"], 4
+            )
+        else:
+            row["modeled_serial_cycles"] = row["modeled_cycles"]
+            row["modeled_speedup_vs_serial"] = 1.0
+        results[name] = row
         speedup = row["speedup_vs_pr2"]
         extra = f"  ({speedup:.2f}x vs PR2)" if speedup else ""
         print(
             f"{name:10s} {row['accesses_per_sec']:8.1f} acc/s  "
-            f"{row['modeled_cycles_per_access']:10.1f} cyc/acc{extra}"
+            f"{row['modeled_cycles_per_access']:10.1f} cyc/acc  "
+            f"{row['modeled_speedup_vs_serial']:.2f}x vs serial{extra}"
         )
 
     payload = {
@@ -175,6 +206,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "measured_accesses": measured,
         "window": args.window,
         "channels": args.channels,
+        "hazard_model": args.hazard_model,
+        "lookahead": lookahead,
         "pre_opt_reference": PRE_OPT_REFERENCE,
         "pr2_reference": PR2_REFERENCE,
         "results": results,

@@ -16,10 +16,18 @@ core frequency), like every figure bench in this repo; host wall-clock
 throughput rides along as a secondary column.  Progress is journaled to
 ``BENCH_service.jsonl`` (see ``python -m repro.serve status``).
 
+Every shard runs behind the shared per-shard memory-level-parallel
+window (``--window``, default 4, see docs/SCHEDULER.md): batch loads and
+commits stream into the shard's :class:`~repro.engine.sched.
+WindowScheduler` and the worker drains to a barrier at batch boundaries,
+so modeled latencies reflect overlapped intra-shard write-backs on top
+of the cross-shard overlap.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--quick]
-        [--output BENCH_service.json] [--scaling-floor RATIO]
+        [--window N] [--output BENCH_service.json]
+        [--scaling-floor RATIO]
 
 Writes ``BENCH_service.json`` and exits non-zero if 4-shard modeled
 throughput fails to reach ``--scaling-floor`` times the 1-shard number.
@@ -50,9 +58,14 @@ FIXED_SHARDS = 4
 #: measured ~3x, the floor only catches a broken scale-out model).
 DEFAULT_SCALING_FLOOR = 1.5
 
+#: Per-shard in-flight access window for the recorded JSON (matches
+#: bench_hotpath's default; 1 = serial shards, the pre-PR-10 behaviour).
+DEFAULT_WINDOW = 4
+
 
 def run_sweeps(
-    quick: bool, variant: str, seed: int, journal: Optional[RunJournal] = None
+    quick: bool, variant: str, seed: int, window: int = DEFAULT_WINDOW,
+    journal: Optional[RunJournal] = None,
 ) -> Dict:
     shard_points = QUICK_SHARD_SWEEP if quick else SHARD_SWEEP
     client_points = QUICK_CLIENT_SWEEP if quick else CLIENT_SWEEP
@@ -61,7 +74,7 @@ def run_sweeps(
     def point(**kwargs) -> Dict:
         started = time.perf_counter()
         row = run_load(variant=variant, total_ops=total_ops, seed=seed,
-                       **kwargs).to_dict()
+                       window=window, **kwargs).to_dict()
         if journal is not None:
             journal.emit(
                 "point_finished",
@@ -103,6 +116,7 @@ def run_sweeps(
         "quick": quick,
         "variant": variant,
         "seed": seed,
+        "window": window,
         "total_ops": total_ops,
         "fixed_clients": FIXED_CLIENTS,
         "fixed_shards": FIXED_SHARDS,
@@ -126,18 +140,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="engine variant for every shard (default: ps)")
     parser.add_argument("--seed", type=int, default=7,
                         help="load-generator seed (default: %(default)s)")
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                        metavar="N",
+                        help="per-shard in-flight access window depth; "
+                             "1 = serial shards (default: %(default)s)")
     parser.add_argument("--scaling-floor", type=float,
                         default=DEFAULT_SCALING_FLOOR, metavar="RATIO",
                         help="fail if 4-shard/1-shard modeled throughput "
                              "falls below RATIO (default: %(default)s)")
     args = parser.parse_args(argv)
+    if args.window < 1:
+        parser.error(f"--window must be >= 1, got {args.window}")
 
     with RunJournal(args.journal) as journal:
         points = (len(QUICK_SHARD_SWEEP) + len(QUICK_CLIENT_SWEEP)
                   if args.quick else len(SHARD_SWEEP) + len(CLIENT_SWEEP))
         journal.emit("sweep_started", points=points, jobs=1)
         started = time.perf_counter()
-        payload = run_sweeps(args.quick, args.variant, args.seed, journal)
+        payload = run_sweeps(args.quick, args.variant, args.seed,
+                             args.window, journal)
         journal.emit(
             "sweep_finished",
             finished=points, cached=0, failed=0,

@@ -215,9 +215,24 @@ class ObliviousKVStore:
         """
         if not self._oram.recover():
             return False
+        self.reopen()
+        return True
+
+    def reopen(self) -> int:
+        """Rebuild the volatile store state over an already-recovered ORAM.
+
+        The shared tail of every recovery path: re-scan the durable
+        directory, reclaim chunks orphaned by an interrupted batch, and
+        clear the closed flag.  Unlike :meth:`settle` this is legal on a
+        closed store (recovery legitimately reopens one) and unlike
+        :meth:`recover` it runs no controller-side recovery — callers
+        that power-cycled the engine themselves use this.  Returns the
+        reclaimed block count.
+        """
+        leaked_before = len(self._used)
         self._recover_allocator()
         self._closed = False
-        return True
+        return max(0, leaked_before - len(self._used))
 
     # ------------------------------------------------------------------
     # internals

@@ -100,6 +100,18 @@ class AccessResult:
     #: disjoint younger access may start as soon as the earliest channel
     #: freed, even before the full fetch finished on the others.
     fetch_channel_free: tuple = ()
+    #: Per-tree-level ``(arrival, finish)`` memory-cycle spans of the path
+    #: fetch, root-first — the fetch half of the segment-level timing
+    #: decomposition (docs/SCHEDULER.md).  Empty for stash hits and for
+    #: hierarchies that do not report a split fetch.
+    fetch_level_spans: tuple = ()
+    #: Per-tree-level memory cycle at which the write-back round that
+    #: wrote that level's bucket completed, root-first — the write-back
+    #: half of the decomposition.  A younger access that shares a bucket
+    #: segment with this access must not fetch that level before its
+    #: release cycle.  Empty when the policy does not decompose its
+    #: write-back (Ring's own write points, stash hits).
+    writeback_level_release: tuple = ()
 
     @property
     def latency_core_cycles(self) -> int:
@@ -137,6 +149,23 @@ class AccessEngine:
     #: default keeps the integrity-off hot path a single attribute test
     #: and every digest fixture byte-identical.
     integrity = None
+
+    #: Scheduler-imposed per-level fetch floors (memory cycles,
+    #: root-first), set by the window scheduler just before ``access``
+    #: and consumed (and cleared) by the hierarchy's path fetch: the
+    #: fetch of level ``l`` must not arrive before ``floors[l]``.  The
+    #: class-level None keeps the serial hot path a single attribute
+    #: test and window-1 timing byte-identical.
+    _fetch_level_floors = None
+
+    #: Per-level write-back release (memory cycles, root-first) reported
+    #: by the persistence policy's eviction for the access in flight;
+    #: the engine moves it into the :class:`AccessResult` and clears it.
+    _wb_level_release = None
+
+    #: Per-level fetch spans reported by the hierarchy's path fetch for
+    #: the access in flight (see :attr:`AccessResult.fetch_level_spans`).
+    _fetch_level_spans = None
 
     # ------------------------------------------------------------------
     # public API
@@ -188,6 +217,11 @@ class AccessEngine:
         fetched = self._fetch_blocks(address, old_path)
         fetch_finish = self.now
         fetch_channel_free = tuple(self.memory.next_free_cycles())
+        fetch_level_spans = self._fetch_level_spans
+        if fetch_level_spans is not None:
+            self._fetch_level_spans = None
+        else:
+            fetch_level_spans = ()
 
         self._checkpoint("phase:absorb")
         target = self._absorb_fetched(fetched, address, old_path, new_path)
@@ -198,6 +232,11 @@ class AccessEngine:
 
         self._checkpoint("phase:evict-plan")
         self._writeback_phase(target, old_path)
+        wb_level_release = self._wb_level_release
+        if wb_level_release is not None:
+            self._wb_level_release = None
+        else:
+            wb_level_release = ()
         self._checkpoint("phase:persist-commit")
         if self.integrity is not None:
             self.integrity.on_persist_commit()
@@ -213,6 +252,8 @@ class AccessEngine:
             finish_cycle=self.now,
             fetch_finish_cycle=fetch_finish,
             fetch_channel_free=fetch_channel_free,
+            fetch_level_spans=fetch_level_spans,
+            writeback_level_release=wb_level_release,
         )
 
     # ------------------------------------------------------------------

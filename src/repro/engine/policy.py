@@ -189,5 +189,8 @@ class VolatilePolicy(PersistencePolicy):
         mem_start = c.clock.core_to_mem(c.now)
         # Encryption of the eviction candidates (pipelined).
         c.now += c.engine.batch_latency_cycles(sum(len(a) for a in assignment))
-        c.tree.write_path(path_id, assignment, mem_start)
+        finish = c.tree.write_path(path_id, assignment, mem_start)
+        # One write burst covers the whole path, so every bucket segment is
+        # released at the same mem cycle (window-scheduler hazard input).
+        c._wb_level_release = (finish,) * (c.tree.height + 1)
         c._finish_eviction(placed)

@@ -244,6 +244,17 @@ class DirtyEntryPSPolicy(PersistencePolicy):
         # labels (stash-hit writes) ride the backup's round.  Entries with
         # no matching write anywhere (Naive's per-dummy-slot padding)
         # carry no consistency obligation and spread across rounds.
+        # Per-level write-back release (the window scheduler's segment-
+        # hazard input): ordered rounds flush at successive cycles, so a
+        # tree level is released at the flush finish of the round carrying
+        # its slot lines.  Bounce/backup/metadata lines are not path slots
+        # and impose no release.
+        addr_level = {
+            line: index // c.tree.z
+            for index, line in enumerate(c.tree.path_addresses(path_id))
+        }
+        release = [0] * (c.tree.height + 1)
+
         tagged = [(address, path, False) for address, path in dirty_entries]
         if self._graduate is not None:
             address, path = self._graduate
@@ -282,7 +293,13 @@ class DirtyEntryPSPolicy(PersistencePolicy):
             c.drainer.end()
             c._checkpoint("step5:after-end")
             mem_start = c.clock.core_to_mem(c.now)
-            c.drainer.flush(mem_start, posmap_kind=self._posmap_persist_kind())
+            round_finish = c.drainer.flush(
+                mem_start, posmap_kind=self._posmap_persist_kind()
+            )
+            for write in round_writes:
+                level = addr_level.get(write.line_address)
+                if level is not None and round_finish > release[level]:
+                    release[level] = round_finish
             persisted.extend(
                 (address, path) for address, path, _bound in round_entries
             )
@@ -320,6 +337,7 @@ class DirtyEntryPSPolicy(PersistencePolicy):
             if c.temp_posmap.get(address) == path:
                 c.temp_posmap.pop(address)
         self._c_posmap_persisted.add(len(persisted))
+        c._wb_level_release = tuple(release)
         c._finish_eviction(placed)
         c._checkpoint("step5:after-flush")
 

@@ -97,7 +97,12 @@ def build_scheduled(name: str, config, window: Optional[int] = None, **kwargs):
 
     controller = _apply_config_integrity(get_spec(name).make(config, **kwargs), config)
     depth = getattr(config, "sched_window", 1) if window is None else window
-    return wrap_controller(controller, depth)
+    return wrap_controller(
+        controller,
+        depth,
+        segment=getattr(config, "sched_segment", True),
+        lookahead=getattr(config, "sched_lookahead", True),
+    )
 
 
 def variant_specs() -> List[VariantSpec]:

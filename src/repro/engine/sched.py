@@ -17,11 +17,20 @@ earliest cycle its hazards allow:
 
 * **same-address hazard** — a younger access to the address of an older
   in-flight access serializes behind that access's full completion;
-* **path-overlap hazard** — two paths that share a bucket *below* the
-  controller-cached top levels contend for the same lines, so the
-  younger access serializes too (every pair of paths shares the root;
-  the top ``top_cached_levels`` levels are assumed held in the
-  controller's bucket buffer, mirroring the PLB-style top cache);
+* **bucket-segment hazard** (``segment=True``, the default) — two paths
+  that share buckets *below* the controller-cached top levels contend
+  only for those shared bucket segments.  The older access reports the
+  memory cycle each tree level's write-back round released its bucket
+  (:attr:`repro.engine.base.AccessResult.writeback_level_release`), and
+  the younger access's *fetch of that level* is floored to that cycle —
+  everything on the disjoint subtree overlaps freely.  Every pair of
+  paths shares the root; the top ``top_cached_levels`` levels are
+  assumed held in the controller's bucket buffer (PLB-style top cache)
+  and are never floored;
+* **whole-path fallback** (``segment=False``, or an older access that
+  reported no per-level release — ring write points, stash hits,
+  non-tree hierarchies) — the younger access serializes behind the
+  older's full completion, PR 7's original path-overlap rule;
 * **window retirement** — an access that falls out of the window is a
   hard floor: nothing younger may start before its write-back end, which
   bounds how deep the overlap can run;
@@ -36,10 +45,20 @@ earliest cycle its hazards allow:
   channels exactly as the per-channel ``next_free_cycle`` queries
   report.
 
+**Speculative posmap lookahead** (``lookahead=True``, the default)
+models pre-resolving the next request's leaf while the previous access
+is still in flight: when the scheduler can peek the path (a read-only
+posmap probe), the frontend re-accepts after one cycle instead of the
+full on-chip lookup latency.  The peek is sound because execution is
+functionally serial — every older access's remap has already been
+applied to the posmap by the time the peek runs, so the peeked leaf is
+exactly the leaf the access will fetch.
+
 Execution stays *functionally serial*: each access runs to completion
 through the unmodified pipeline before the next begins, so stash,
 PosMap, and NVM image are byte-identical to window 1 — only the cycle
-each access is launched at changes.  The interval calendars make the
+each access is launched at (and, under segment floors, the arrival of
+its per-level fetch groups) changes.  The interval calendars make the
 early launch sound: a request arriving while a resource is busy still
 waits its turn, and in-order (monotone-arrival) traffic is
 cycle-identical to the watermark model, which is why every window-1
@@ -56,15 +75,23 @@ checkpoints (service snapshots, crash/recover).
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import List, Optional
 
 from repro.engine.base import AccessResult
+from repro.errors import InvalidAddressError
 
 
 class _Inflight:
     """Timing record of one architecturally-complete in-flight access."""
 
-    __slots__ = ("address", "path", "fetch_finish", "finish", "channel_free")
+    __slots__ = (
+        "address",
+        "path",
+        "fetch_finish",
+        "finish",
+        "channel_free",
+        "wb_release",
+    )
 
     def __init__(
         self,
@@ -73,12 +100,18 @@ class _Inflight:
         fetch_finish: int,
         finish: int,
         channel_free: tuple,
+        wb_release: tuple,
     ):
         self.address = address
         self.path = path
         self.fetch_finish = fetch_finish
         self.finish = finish
         self.channel_free = channel_free
+        #: Per-level mem cycle at which this access's write-back released
+        #: each tree bucket segment (root-first); empty when the policy
+        #: reported none (ring write points, stash hits) — the scheduler
+        #: then falls back to whole-path serialization against it.
+        self.wb_release = wb_release
 
 
 class WindowScheduler:
@@ -101,18 +134,30 @@ class WindowScheduler:
             "controller",
             "window",
             "top_cached_levels",
+            "segment",
+            "lookahead",
             "_inflight",
             "_horizon",
             "_ready",
+            "_ready_spec",
             "_floor",
             "_height",
             "_c_overlapped",
             "_c_hazard_addr",
             "_c_hazard_path",
+            "_c_hazard_segment",
+            "_c_lookahead",
         }
     )
 
-    def __init__(self, controller, window: int = 4, top_cached_levels: Optional[int] = None):
+    def __init__(
+        self,
+        controller,
+        window: int = 4,
+        top_cached_levels: Optional[int] = None,
+        segment: bool = True,
+        lookahead: bool = True,
+    ):
         if window < 1:
             raise ValueError(f"scheduler window must be >= 1, got {window}")
         self.controller = controller
@@ -120,11 +165,18 @@ class WindowScheduler:
         self.top_cached_levels = (
             self.TOP_CACHED_LEVELS if top_cached_levels is None else top_cached_levels
         )
+        #: Bucket-segment hazard tracking (False = PR 7's whole-path rule).
+        self.segment = segment
+        #: Speculative posmap lookahead for the frontend ready cycle.
+        self.lookahead = lookahead
         self._inflight: deque = deque()
         self._horizon = controller.now
         # The cycle the engine frontend next accepts a request (the
-        # previous access's start plus one on-chip lookup).
+        # previous access's start plus one on-chip lookup)...
         self._ready = controller.now
+        # ...or plus a single cycle when the next leaf was pre-resolved
+        # speculatively while the previous access was in flight.
+        self._ready_spec = controller.now
         # Hard barrier: no access may start before this (window-retired
         # accesses and explicit drains land here).
         self._floor = controller.now
@@ -142,6 +194,8 @@ class WindowScheduler:
         self._c_overlapped = stats.counter("sched_overlapped")
         self._c_hazard_addr = stats.counter("sched_hazard_same_address")
         self._c_hazard_path = stats.counter("sched_hazard_path_overlap")
+        self._c_hazard_segment = stats.counter("sched_hazard_segment")
+        self._c_lookahead = stats.counter("sched_lookahead_hits")
         if window > 1:
             # Interval (gap-fill) bank/bus scheduling: cycle-identical
             # for in-order traffic, but lets a rewound younger fetch use
@@ -163,6 +217,7 @@ class WindowScheduler:
             self.controller.now = value
             object.__setattr__(self, "_horizon", value)
             object.__setattr__(self, "_ready", value)
+            object.__setattr__(self, "_ready_spec", value)
             object.__setattr__(self, "_floor", value)
             self._inflight.clear()
         else:
@@ -183,12 +238,29 @@ class WindowScheduler:
         shared_levels = self._height - (a ^ b).bit_length()
         return shared_levels >= self.top_cached_levels
 
+    def _shared_levels(self, a: int, b: int) -> int:
+        """Deepest tree level where paths ``a`` and ``b`` share a bucket."""
+        if a == b:
+            return self._height
+        return self._height - (a ^ b).bit_length()
+
     def _peek_path(self, address: int) -> Optional[int]:
-        """Read-only view of the path the next access will fetch."""
+        """Read-only view of the path the next access will fetch.
+
+        ``None`` means "no peekable position" — a non-tree hierarchy
+        (plain/strawman controllers have no posmap) or an out-of-range
+        address (``access()`` will raise the proper error itself); the
+        scheduler then serializes conservatively.  Any *other* failure is
+        a real fault in the position machinery and propagates: swallowing
+        it here would silently degrade every access to whole-path
+        serialization and mask the bug.
+        """
+        if self._height == 0:
+            return None
         try:
             return self.controller._position_of(address)
-        except Exception:
-            return None  # out-of-range address: let access() raise properly
+        except InvalidAddressError:
+            return None
 
     # -- access entry points ------------------------------------------------
 
@@ -212,23 +284,58 @@ class WindowScheduler:
             retired = self._inflight.popleft()
             if retired.finish > self._floor:
                 self._floor = retired.finish
+        # Peek the leaf before arrival: the peek both drives the hazard
+        # decomposition below and models the speculative posmap lookahead
+        # (the leaf was pre-resolved while the previous access was in
+        # flight, so the frontend re-accepted early).
+        path = self._peek_path(address)
         # Arrival: an explicit start_cycle wins; otherwise the engine
         # frontend accepts a new request as soon as the previous one has
         # cleared position lookup — MLP is then bounded only by the
         # window depth, the hazard barriers below, and (physically) the
         # memory model's dispatch/bank/bus watermarks.
-        arrival = self._ready if start_cycle is None else start_cycle
+        if start_cycle is not None:
+            arrival = start_cycle
+        elif self.lookahead and path is not None:
+            arrival = self._ready_spec
+            if arrival < self._ready:
+                self._c_lookahead.add()
+        else:
+            arrival = self._ready
         if arrival < self._floor:
             arrival = self._floor
         start = arrival
-        path = self._peek_path(address)
+        level_floors: Optional[List[int]] = None
         for rec in self._inflight:
             if rec.address == address:
                 barrier = rec.finish
                 self._c_hazard_addr.add()
             elif path is None or self._paths_conflict(rec.path, path):
-                # Unknown path (non-tree hierarchy): stay conservative
-                # and serialize behind the older access.
+                if (
+                    self.segment
+                    and path is not None
+                    and rec.wb_release
+                    and rec.fetch_finish >= 0
+                ):
+                    # Bucket-segment hazard: floor only the shared levels'
+                    # fetches to the older write-back rounds that released
+                    # them; the disjoint subtree overlaps freely.  The
+                    # younger access's own write-back lands after its
+                    # (floored) fetch, and the interval calendars order
+                    # the line traffic physically.
+                    shared = self._shared_levels(rec.path, path)
+                    if level_floors is None:
+                        level_floors = [0] * (self._height + 1)
+                    release = rec.wb_release
+                    for level in range(self.top_cached_levels, shared + 1):
+                        if release[level] > level_floors[level]:
+                            level_floors[level] = release[level]
+                    self._c_hazard_segment.add()
+                    continue
+                # Whole-path fallback: unknown path (non-tree hierarchy),
+                # segment mode off, or an older access that reported no
+                # per-level release (ring write points, stash hits) —
+                # stay conservative and serialize behind it.
                 barrier = rec.finish
                 self._c_hazard_path.add()
             else:
@@ -253,14 +360,28 @@ class WindowScheduler:
             # arriving while its bank/bus is occupied still waits.
             c.now = start
             self._c_overlapped.add()
-        result = c.access(
-            address, is_write, data=data, start_cycle=start, mutator=mutator
-        )
+        if level_floors is not None and any(level_floors):
+            c._fetch_level_floors = level_floors
+        try:
+            result = c.access(
+                address, is_write, data=data, start_cycle=start, mutator=mutator
+            )
+        finally:
+            # Consume-once contract: a stash hit (or a mid-access crash)
+            # never reaches the fetch phase, so clear any unconsumed
+            # floors rather than let them leak into the next access.
+            c._fetch_level_floors = None
         if result.finish_cycle > self._horizon:
             self._horizon = result.finish_cycle
         # The frontend is busy for one on-chip lookup; afterwards the
         # next request may enter (hazards permitting).
-        self._ready = result.start_cycle + getattr(c, "ONCHIP_LOOKUP_CYCLES", 0)
+        lookup = getattr(c, "ONCHIP_LOOKUP_CYCLES", 0)
+        self._ready = result.start_cycle + lookup
+        # With the next leaf pre-resolved speculatively, the frontend
+        # frees after a single accept cycle instead (never later than
+        # the non-speculative ready — plain hierarchies have a 0-cycle
+        # lookup).
+        self._ready_spec = result.start_cycle + min(1, lookup)
         self._inflight.append(
             _Inflight(
                 address,
@@ -268,6 +389,7 @@ class WindowScheduler:
                 result.fetch_finish_cycle,
                 result.finish_cycle,
                 result.fetch_channel_free,
+                result.writeback_level_release,
             )
         )
         return result
@@ -299,6 +421,7 @@ class WindowScheduler:
             c.now = self._horizon
         self._inflight.clear()
         self._ready = c.now
+        self._ready_spec = c.now
         self._floor = c.now
         return c.now
 
@@ -312,7 +435,13 @@ class WindowScheduler:
         return self.controller.recover()
 
 
-def wrap_controller(controller, window: int, top_cached_levels: Optional[int] = None):
+def wrap_controller(
+    controller,
+    window: int,
+    top_cached_levels: Optional[int] = None,
+    segment: bool = True,
+    lookahead: bool = True,
+):
     """Wrap ``controller`` in a :class:`WindowScheduler` when ``window > 1``.
 
     The window-1 case returns the controller untouched so serial setups
@@ -320,4 +449,10 @@ def wrap_controller(controller, window: int, top_cached_levels: Optional[int] = 
     """
     if window <= 1:
         return controller
-    return WindowScheduler(controller, window, top_cached_levels)
+    return WindowScheduler(
+        controller,
+        window,
+        top_cached_levels,
+        segment=segment,
+        lookahead=lookahead,
+    )

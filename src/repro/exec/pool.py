@@ -25,6 +25,8 @@ timeout and to survive a worker dying mid-point.
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -268,8 +270,37 @@ class _Attempt:
     started: float = field(default_factory=time.monotonic)
 
 
+def _sigint_guard():
+    """Mask SIGINT for the spawn critical section; returns the unmask set.
+
+    A Ctrl-C landing between ``Process.start()`` and the ``active[...]``
+    bookkeeping insert would orphan the fresh child: ``_terminate_all``
+    only reaps registered attempts, and an interrupt *inside* ``start()``
+    can even fire before multiprocessing registers the child for its own
+    atexit cleanup.  Masking is per-thread and only legal from the main
+    thread; elsewhere (or without pthread_sigmask) the guard is a no-op
+    and the pre-existing narrow race remains.
+    """
+    if not hasattr(signal, "pthread_sigmask"):
+        return None
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    previous = signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGINT})
+    return None if signal.SIGINT in previous else {signal.SIGINT}
+
+
+def _sigint_release(unmask) -> None:
+    """Restore SIGINT delivery; a pending interrupt fires right here."""
+    if unmask:
+        signal.pthread_sigmask(signal.SIG_UNBLOCK, unmask)
+
+
 def _child_main(executor, point, conn) -> None:
     """Worker entry: run the point, ship back ('ok', result) or ('err', msg)."""
+    # The fork inherited the parent's spawn-time signal mask; the child
+    # must take interrupts normally (terminate/kill cleanup aside).
+    if hasattr(signal, "pthread_sigmask"):
+        signal.pthread_sigmask(signal.SIG_UNBLOCK, {signal.SIGINT})
     try:
         result = executor(point)
         conn.send(("ok", result))
@@ -309,11 +340,18 @@ def _run_parallel(
             target=_child_main, args=(executor, point, child_conn), daemon=True
         )
         worker = free_workers.pop()
-        process.start()
-        child_conn.close()
-        active[parent_conn] = _Attempt(
-            index, point, process, parent_conn, worker, attempts_used[index]
-        )
+        # Start + bookkeeping must be atomic w.r.t. Ctrl-C: see
+        # _sigint_guard.  A pending SIGINT delivers at the release, when
+        # the attempt is registered and _terminate_all can reap it.
+        unmask = _sigint_guard()
+        try:
+            process.start()
+            child_conn.close()
+            active[parent_conn] = _Attempt(
+                index, point, process, parent_conn, worker, attempts_used[index]
+            )
+        finally:
+            _sigint_release(unmask)
         if journal is not None:
             journal.emit(
                 "point_started", key=point.key(),

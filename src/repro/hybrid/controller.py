@@ -47,19 +47,30 @@ class _HybridTree(ORAMTree):
         self.dram = dram
         self.treetop = treetop
 
-    def read_path(self, path_id: int, start_cycle: int):
+    def read_path(self, path_id: int, start_cycle: int, level_floors=None):
         blocks = []
         finish = start_cycle
+        spans = []
         for level in range(self.height + 1):
+            # Segment-hazard floor (window scheduler): this level's bucket
+            # may not be fetched before the older write-back released it.
+            arrival = start_cycle
+            if level_floors is not None and level_floors[level] > arrival:
+                arrival = level_floors[level]
+            level_finish = arrival
             b_idx = bucket_index(path_id, level, self.height)
             for slot in range(self.z):
                 address = self.region.slot_address(b_idx, slot)
                 target = self.dram if self.treetop.is_dram(address) else self.memory
-                request = target.issue(address, Access.READ, start_cycle, self.kind)
+                request = target.issue(address, Access.READ, arrival, self.kind)
                 complete = request.complete_cycle
-                if complete is not None and complete > finish:
-                    finish = complete
+                if complete is not None and complete > level_finish:
+                    level_finish = complete
                 blocks.append(self.load_slot(b_idx, slot))
+            spans.append((arrival, level_finish))
+            if level_finish > finish:
+                finish = level_finish
+        self.last_read_level_spans = tuple(spans)
         return blocks, finish
 
 

@@ -136,7 +136,16 @@ class PathORAMController(AccessEngine):
     def _fetch_blocks(self, address: int, old_path: int) -> List[Block]:
         """Timed read + decrypt of every slot on the access path."""
         mem_start = self.clock.core_to_mem(self.now)
-        blocks, mem_finish = self.tree.read_path(old_path, mem_start)
+        # Segment-hazard floors posted by the window scheduler (one per
+        # tree level, mem cycles): consume-once so a serial caller or the
+        # background eviction path never inherits stale floors.
+        floors = self._fetch_level_floors
+        if floors is not None:
+            self._fetch_level_floors = None
+        blocks, mem_finish = self.tree.read_path(
+            old_path, mem_start, level_floors=floors
+        )
+        self._fetch_level_spans = self.tree.last_read_level_spans
         self.now = self.clock.mem_to_core(mem_finish)
         # Decryption pipeline latency (pad generation overlaps the fetch per
         # Osiris, so only the pipeline depth + drain remains).

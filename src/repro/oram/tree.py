@@ -13,7 +13,7 @@ caller (the ORAM controller) owns clock-domain conversion.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.mem.controller import NVMMainMemory
 from repro.mem.request import Access, RequestKind
@@ -58,6 +58,10 @@ class ORAMTree:
         self.memory = memory
         self.codec = codec
         self.kind = kind
+        #: Per-level ``(arrival, finish)`` memory-cycle spans of the most
+        #: recent :meth:`read_path` call, root-first — the fetch half of
+        #: the window scheduler's segment-level timing decomposition.
+        self.last_read_level_spans: Tuple[Tuple[int, int], ...] = ()
 
     @property
     def height(self) -> int:
@@ -98,15 +102,67 @@ class ORAMTree:
 
     # -- timed path access -----------------------------------------------------
 
-    def read_path(self, path_id: int, start_cycle: int) -> Tuple[List[Block], int]:
+    def read_path(
+        self,
+        path_id: int,
+        start_cycle: int,
+        level_floors: Optional[Sequence[int]] = None,
+    ) -> Tuple[List[Block], int]:
         """Read and decrypt every slot on a path.
 
         Returns ``(blocks, finish_cycle)`` with blocks ordered root-first.
         One timed line read is issued per slot.
+
+        ``level_floors`` (memory cycles, root-first, one per level) is the
+        window scheduler's segment-hazard discipline: the read of level
+        ``l``'s bucket must not *arrive* before ``floors[l]`` — the cycle
+        an older in-flight access's write-back round released that bucket
+        segment.  Consecutive levels with the same effective arrival are
+        issued as one batch, so when no floor binds the call degenerates
+        to the single :meth:`~repro.mem.controller.NVMMainMemory.
+        issue_path` of the serial pipeline (bit-identical timing).
         """
         memory = self.memory
         addresses = _path_slot_addresses(self.region, path_id)
-        finish = memory.issue_path(addresses, Access.READ, start_cycle, self.kind)
+        height = self.region.height
+        arrivals: Optional[List[int]] = None
+        if level_floors is not None:
+            if len(level_floors) != height + 1:
+                raise ValueError(
+                    f"level_floors has {len(level_floors)} levels, "
+                    f"expected {height + 1}"
+                )
+            if any(floor > start_cycle for floor in level_floors):
+                arrivals = [
+                    floor if floor > start_cycle else start_cycle
+                    for floor in level_floors
+                ]
+        if arrivals is None:
+            finish = memory.issue_path(addresses, Access.READ, start_cycle, self.kind)
+            self.last_read_level_spans = ((start_cycle, finish),) * (height + 1)
+        else:
+            z = self.region.z
+            finish = start_cycle
+            spans: List[Tuple[int, int]] = []
+            level = 0
+            while level <= height:
+                group_arrival = arrivals[level]
+                stop = level + 1
+                while stop <= height and arrivals[stop] == group_arrival:
+                    stop += 1
+                group_finish = memory.issue_path(
+                    addresses[level * z : stop * z],
+                    Access.READ,
+                    group_arrival,
+                    self.kind,
+                )
+                spans.extend(
+                    (group_arrival, group_finish) for _ in range(level, stop)
+                )
+                if group_finish > finish:
+                    finish = group_finish
+                level = stop
+            self.last_read_level_spans = tuple(spans)
         load_line = memory.load_line
         wires = [load_line(address) for address in addresses]
         codec = self.codec

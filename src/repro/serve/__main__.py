@@ -100,6 +100,7 @@ def _cmd_conformance(args) -> int:
     result = run_service_cell(
         shards=args.shards, variant=args.variant, point=args.point,
         rounds=args.rounds, seed=args.seed, integrity=args.integrity,
+        window=args.window,
     )
     print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     if not result.consistent:

@@ -55,6 +55,7 @@ class ServiceCellResult:
     seed: int
     batch_max: int
     height: int
+    window: int = 1
     supports: bool = False
     operations: int = 0
     acknowledged: int = 0
@@ -78,7 +79,7 @@ class ServiceCellResult:
 
 
 def _build_service(shards, variant, height, batch_max, seed,
-                   integrity=False) -> ShardedKVService:
+                   integrity=False, window=1) -> ShardedKVService:
     return ShardedKVService(
         shards=shards,
         variant=variant,
@@ -87,6 +88,7 @@ def _build_service(shards, variant, height, batch_max, seed,
         seed=seed,
         mode="inline",
         integrity=integrity,
+        window=window,
     ).start()
 
 
@@ -121,26 +123,34 @@ def run_service_cell(
     batch_max: int = 4,
     num_keys: int = 12,
     integrity: bool = False,
+    window: int = 1,
 ) -> ServiceCellResult:
     """Run one service-crash conformance cell; see the module docstring.
 
     ``point=None`` arms a random service crash point each round (fuzzing
     mode); a fixed point — ``shard<i>:<label>`` or
     :data:`SERVICE_QUIESCENT` — pins every round's cut (matrix mode).
+
+    ``window > 1`` runs every shard behind the shared per-shard
+    :class:`~repro.engine.sched.WindowScheduler`: batch loads/commits
+    stream into the in-flight window and the worker drains to a barrier
+    at batch boundaries, so crash cells exercise the scheduler's
+    drain-before-power-cut discipline.
     """
     cell_rng = DeterministicRNG(seed)
     ops_rng = cell_rng.substream("service-ops")
     inject_rng = cell_rng.substream("service-inject")
 
     service = _build_service(shards, variant, height, batch_max, seed,
-                             integrity)
+                             integrity, window)
     supports = all(
         worker.controller.supports_crash_consistency()
         for worker in service.workers
     )
     result = ServiceCellResult(
         shards=shards, variant=variant, point=point, rounds=rounds,
-        seed=seed, batch_max=batch_max, height=height, supports=supports,
+        seed=seed, batch_max=batch_max, height=height, window=window,
+        supports=supports,
     )
     all_points = service.crash_points()
     if point is not None and point not in all_points:
@@ -189,7 +199,7 @@ def run_service_cell(
         # Per-key ordering is sound: a key always routes to one shard and
         # shard batches preserve FIFO, so folding in input order applies
         # each key's acknowledged ops in their true execution order.
-        window: Dict[str, Set] = {}
+        tolerated: Dict[str, Set] = {}
         for request in requests:
             acked = request.done and not isinstance(
                 request.error, ServiceCrashedError
@@ -207,7 +217,7 @@ def run_service_cell(
                 # last acknowledged value or to any unacknowledged value
                 # staged for it (write coalescing commits only the final
                 # one, but the wider set keeps the check sound).
-                tolerance = window.setdefault(
+                tolerance = tolerated.setdefault(
                     request.key, {reference.get(request.key, MISSING)}
                 )
                 tolerance.add(request.value if request.op == OP_PUT else MISSING)
@@ -237,11 +247,11 @@ def run_service_cell(
                     )
             if result.violations:
                 break
-            violations = _verify(service, reference, window, keys, prefix)
+            violations = _verify(service, reference, tolerated, keys, prefix)
             if violations:
                 result.violations.extend(violations)
                 break
-            _settle(service, reference, window)
+            _settle(service, reference, tolerated)
         else:
             if recovered:
                 result.violations.append(
@@ -251,7 +261,7 @@ def run_service_cell(
                 break
             # Honest failure is conformant; the service restarts empty.
             service = _build_service(shards, variant, height, batch_max, seed,
-                                     integrity)
+                                     integrity, window)
             reference.clear()
 
     status = service.status()
@@ -269,16 +279,16 @@ def _read_back(service: ShardedKVService, key: str) -> Optional[bytes]:
         return MISSING
 
 
-def _verify(service, reference, window, keys, prefix) -> List[str]:
+def _verify(service, reference, tolerated, keys, prefix) -> List[str]:
     """Sweep the whole key universe against reference + tolerance."""
     violations = []
     for key in keys:
         actual = _read_back(service, key)
-        if key in window:
-            if actual not in window[key]:
+        if key in tolerated:
+            if actual not in tolerated[key]:
                 want = sorted(
                     "absent" if v is MISSING else v[:8].hex()
-                    for v in window[key]
+                    for v in tolerated[key]
                 )
                 got = "absent" if actual is MISSING else actual[:8].hex()
                 violations.append(
@@ -297,9 +307,9 @@ def _verify(service, reference, window, keys, prefix) -> List[str]:
     return violations
 
 
-def _settle(service, reference, window) -> None:
+def _settle(service, reference, tolerated) -> None:
     """Adopt each in-flight key's surviving value before the next round."""
-    for key in window:
+    for key in tolerated:
         survivor = _read_back(service, key)
         if survivor is MISSING:
             reference.pop(key, None)

@@ -127,6 +127,7 @@ class ShardedKVService:
         self._started = False
         for worker in self.workers:
             if not worker.crashed:
+                worker.drain()  # window barrier before the final settle
                 worker.store.settle()
 
     def __enter__(self) -> "ShardedKVService":

@@ -106,6 +106,21 @@ class ShardWorker:
         """The underlying controller's injectable labels."""
         return list(self.controller.crash_points())
 
+    def drain(self) -> int:
+        """Window barrier: wait out every in-flight write-back.
+
+        With ``window > 1`` the shard's accesses stream into the shared
+        :class:`~repro.engine.sched.WindowScheduler`; batch boundaries,
+        snapshots and shutdown drain the window so reported finish cycles
+        (and anything that reads ``controller.now``) reflect fully
+        retired write-backs.  A serial (unwrapped) controller has no
+        window — its clock already is the barrier.
+        """
+        drain = getattr(self.controller, "drain", None)
+        if drain is not None:
+            return drain()
+        return self.controller.now
+
     # ------------------------------------------------------------------
     # batch execution (both modes)
     # ------------------------------------------------------------------
@@ -165,7 +180,9 @@ class ShardWorker:
                     request.fail(error)
             raise
 
-        finish = self.controller.now
+        # Batch boundary = window barrier: acknowledgement cycles must
+        # cover the write-backs still in flight in the shard's scheduler.
+        finish = self.drain()
         self._resolve(requests, plan, loaded, commit_errors, arrival, finish)
         self.stats["requests"] += len(requests)
         self.stats["batches"] += 1
@@ -256,29 +273,43 @@ class ShardWorker:
     def recover(self) -> bool:
         """Rebuild engine + store state from the persistent image.
 
-        Delegates to the store's recovery (controller ``recover()`` plus
-        allocator rebuild, which also reclaims chunks orphaned by an
-        interrupted batch).  Returns False — and leaves the worker down —
-        if the variant cannot recover.
+        One recovery path for the whole worker: this is
+        :meth:`power_cycle` minus the report.  Routing through the power
+        cycle means the ADR drain of committed WPQ rounds
+        (``controller.crash()``) always precedes the policy recovery —
+        a bare ``store.recover()`` without a preceding power cut used to
+        discard committed rounds and with them acknowledged data.
+        Returns False — and leaves the worker down — if the variant
+        cannot recover.
         """
-        recovered = self.store.recover()
-        if recovered:
-            self.crashed = False
-            self.stats["recoveries"] += 1
-        return recovered
+        return self.power_cycle().recovered
 
     def power_cycle(self) -> RecoveryReport:
-        """Crash + recover in one step (single-shard convenience)."""
+        """Cut power and recover in one step — the single recovery path.
+
+        ``crash_and_recover`` runs the controller-side power cycle (ADR
+        drain + policy recovery); :meth:`~repro.apps.kvstore.
+        ObliviousKVStore.reopen` then rebuilds the store's volatile
+        allocator against the recovered directory, reclaiming chunks
+        orphaned by an interrupted batch.  ``reopen`` (not ``settle``)
+        also makes power-cycling a closed store legal — recovery
+        legitimately reopens one.
+        """
         if not self.crashed:
             self.stats["crashes"] += 1
         self.crashed = True
         report = crash_and_recover(self.controller)
         if report.recovered:
-            self.store.settle()
+            self.store.reopen()
             self.crashed = False
             self.stats["recoveries"] += 1
         return report
 
     def close(self) -> int:
         """Settle and close the shard's store; returns reclaimed blocks."""
-        return self.store.close()
+        self.drain()
+        reclaimed = self.store.close()
+        # The settle scan's directory reads re-entered the window; leave
+        # the shard fully quiesced.
+        self.drain()
+        return reclaimed

@@ -33,7 +33,12 @@ def run_experiment(
     if getattr(config, "sched_window", 1) > 1:
         from repro.engine.sched import wrap_controller
 
-        controller = wrap_controller(controller, config.sched_window)
+        controller = wrap_controller(
+            controller,
+            config.sched_window,
+            segment=getattr(config, "sched_segment", True),
+            lookahead=getattr(config, "sched_lookahead", True),
+        )
     system = SimulatedSystem(config, controller)
 
     if warmup_references > 0:

@@ -361,6 +361,45 @@ class TestKeyboardInterrupt:
         )
         assert leftovers.stdout.strip() == ""
 
+    def test_spawn_masks_sigint_until_worker_registered(self, monkeypatch):
+        """Regression for the orphaned-worker race behind the flaky
+        SIGINT test: a Ctrl-C landing inside ``Process.start()`` (or just
+        after it, before the ``active`` bookkeeping insert) used to leave
+        a child no ``_terminate_all`` could reap.  The spawn critical
+        section must run with SIGINT masked, release the mask once the
+        attempt is registered, and fork children must unmask it again.
+        """
+        import multiprocessing
+
+        if not hasattr(signal, "pthread_sigmask"):
+            pytest.skip("platform without pthread_sigmask")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform without fork start method")
+        ctx = multiprocessing.get_context("fork")
+        masks_during_start = []
+        real_start = ctx.Process.start
+
+        def recording_start(self):
+            # SIG_BLOCK with an empty set is a pure query of the mask.
+            blocked = signal.pthread_sigmask(signal.SIG_BLOCK, set())
+            masks_during_start.append(signal.SIGINT in blocked)
+            return real_start(self)
+
+        monkeypatch.setattr(ctx.Process, "start", recording_start)
+
+        def executor(point):
+            blocked = signal.pthread_sigmask(signal.SIG_BLOCK, set())
+            return ("child-mask", signal.SIGINT in blocked)
+
+        outcomes = run_sweep(_points()[:2], jobs=2, executor=executor)
+        assert all(o.ok for o in outcomes)
+        assert masks_during_start and all(masks_during_start)
+        assert all(o.result == ("child-mask", False) for o in outcomes)
+        # The parent main thread takes interrupts again after the sweep.
+        assert signal.SIGINT not in signal.pthread_sigmask(
+            signal.SIG_BLOCK, set()
+        )
+
 
 class TestHarnessIntegration:
     def test_sweep_jobs_path_matches_serial(self, tmp_path, monkeypatch):

@@ -33,11 +33,24 @@ def _logical_digest(controller):
     return hashlib.sha256("||".join(parts).encode()).hexdigest()
 
 
-def _run_trace(variant, window, channels=2, accesses=120, seed=7, height=6):
-    """Drive a controller through a mixed trace; returns (digest, datas, cycles)."""
+def _run_trace(
+    variant,
+    window,
+    channels=2,
+    accesses=120,
+    seed=7,
+    height=6,
+    segment=True,
+    lookahead=True,
+):
+    """Drive a controller through a mixed trace.
+
+    Returns ``(digest, datas, cycles, stats)`` — the logical-state digest,
+    every returned payload, the post-drain clock, and the stats snapshot.
+    """
     config = small_config(height=height, channels=channels, seed=1)
     controller = build_variant(variant, config)
-    sched = wrap_controller(controller, window)
+    sched = wrap_controller(controller, window, segment=segment, lookahead=lookahead)
     rng = DeterministicRNG(seed)
     space = config.oram.total_slots // 2
     datas = []
@@ -49,7 +62,7 @@ def _run_trace(variant, window, channels=2, accesses=120, seed=7, height=6):
             result = sched.read(address)
         datas.append(result.data)
     cycles = sched.drain() if window > 1 else controller.now
-    return _logical_digest(controller), datas, cycles
+    return _logical_digest(controller), datas, cycles, controller.stats.snapshot()
 
 
 class TestLockStepEquivalence:
@@ -58,12 +71,21 @@ class TestLockStepEquivalence:
     @pytest.mark.parametrize("variant", ["ps", "baseline"])
     @pytest.mark.parametrize("window", [2, 4, 8])
     def test_logical_state_matches_serial(self, variant, window):
-        serial_digest, serial_datas, serial_cycles = _run_trace(variant, 1)
-        digest, datas, cycles = _run_trace(variant, window)
+        serial_digest, serial_datas, serial_cycles, _ = _run_trace(variant, 1)
+        digest, datas, cycles, _ = _run_trace(variant, window)
         assert datas == serial_datas
         assert digest == serial_digest
         # The window may only ever make the modeled time shorter.
         assert cycles <= serial_cycles
+
+    @pytest.mark.parametrize("segment", [True, False])
+    @pytest.mark.parametrize("lookahead", [True, False])
+    def test_hazard_model_knobs_preserve_logical_state(self, segment, lookahead):
+        serial = _run_trace("ps", 1)
+        windowed = _run_trace("ps", 4, segment=segment, lookahead=lookahead)
+        assert windowed[0] == serial[0]
+        assert windowed[1] == serial[1]
+        assert windowed[2] <= serial[2]
 
     @pytest.mark.parametrize("seed", [3, 11, 42])
     def test_randomized_traces(self, seed):
@@ -103,23 +125,47 @@ class TestHazardOrdering:
         assert second.start_cycle >= first.finish_cycle
         assert controller.stats.snapshot()["sched_hazard_same_address"] >= 1
 
-    def test_overlapping_paths_serialize(self):
-        config, controller, sched = self._scheduler()
-        space = config.oram.total_slots // 2
-        # Find two addresses mapped to the same leaf path: maximal overlap.
+    @staticmethod
+    def _colliding_pair(config, controller):
+        """Two addresses currently mapped to the same leaf path."""
         by_path = {}
-        pair = None
-        for address in range(space):
+        for address in range(config.oram.total_slots // 2):
             path = controller._position_of(address)
             if path in by_path:
-                pair = (by_path[path], address)
-                break
+                return by_path[path], address
             by_path[path] = address
-        assert pair is not None, "tree too small to collide paths"
+        pytest.fail("tree too small to collide paths")
+
+    def test_overlapping_paths_serialize_whole_path_mode(self):
+        config = small_config(height=6, channels=2, seed=1)
+        controller = build_variant("ps", config)
+        sched = WindowScheduler(controller, 4, segment=False)
+        pair = self._colliding_pair(config, controller)
         first = sched.read(pair[0])
         second = sched.read(pair[1])
         assert second.start_cycle >= first.finish_cycle
         assert controller.stats.snapshot()["sched_hazard_path_overlap"] >= 1
+
+    def test_overlapping_paths_floor_shared_segments(self):
+        config, controller, sched = self._scheduler()
+        pair = self._colliding_pair(config, controller)
+        first = sched.read(pair[0])
+        second = sched.read(pair[1])
+        # Same leaf: every level below the cached top is shared, so the
+        # younger fetch of each such level must wait for the older
+        # write-back round that released it — but the access itself may
+        # start earlier than the older access's full completion.
+        top = sched.top_cached_levels
+        assert second.fetch_level_spans, "segment mode must report fetch spans"
+        assert first.writeback_level_release, "ps must report per-level release"
+        for level in range(top, config.oram.height + 1):
+            assert (
+                second.fetch_level_spans[level][0]
+                >= first.writeback_level_release[level]
+            )
+        snap = controller.stats.snapshot()
+        assert snap["sched_hazard_segment"] >= 1
+        assert snap.get("sched_hazard_path_overlap", 0) == 0
 
     def test_window_retirement_is_a_floor(self):
         config, controller, sched = self._scheduler(window=2)
@@ -167,6 +213,101 @@ class TestHazardOrdering:
         controller = build_variant("ps", config)
         with pytest.raises(ValueError):
             WindowScheduler(controller, 0)
+
+
+class TestSegmentDifferential:
+    """Segment hazards vs the whole-path rule on identical seeded traces."""
+
+    def test_segment_never_starts_a_fetch_too_early(self):
+        """Per-level safety: wherever two accesses overlap in time, the
+        younger's fetch of every shared bucket segment arrives at or
+        after the older write-back round that released that segment."""
+        config = small_config(height=6, channels=2, seed=1)
+        controller = build_variant("ps", config)
+        sched = wrap_controller(controller, 4)
+        rng = DeterministicRNG(13)
+        space = config.oram.total_slots // 2
+        results = [sched.read(rng.randrange(space)) for _ in range(80)]
+        sched.drain()
+        top = sched.top_cached_levels
+        height = config.oram.height
+        checked = 0
+        for i, younger in enumerate(results):
+            if not younger.fetch_level_spans:
+                continue  # stash hit: no fetch
+            for older in results[:i]:
+                if younger.start_cycle >= older.finish_cycle:
+                    continue  # no time overlap: serial ordering holds
+                if not older.writeback_level_release:
+                    continue  # scheduler serialized fully behind it
+                a, b = older.old_path, younger.old_path
+                shared = height if a == b else height - (a ^ b).bit_length()
+                for level in range(top, shared + 1):
+                    assert (
+                        younger.fetch_level_spans[level][0]
+                        >= older.writeback_level_release[level]
+                    )
+                    checked += 1
+        assert checked > 0, "trace produced no overlapped conflicting pairs"
+
+    @pytest.mark.parametrize("seed", [13, 29])
+    def test_segment_strictly_reduces_whole_path_serialization(self, seed):
+        whole = _run_trace("ps", 4, seed=seed, segment=False, lookahead=False)
+        seg = _run_trace("ps", 4, seed=seed, segment=True, lookahead=False)
+        # Identical logical outcome, strictly fewer full serializations.
+        assert seg[0] == whole[0]
+        assert seg[1] == whole[1]
+        assert (
+            seg[3]["sched_hazard_path_overlap"]
+            < whole[3]["sched_hazard_path_overlap"]
+        )
+        assert seg[3]["sched_hazard_segment"] > 0
+        # Freeing the disjoint subtree may only shorten the modeled time.
+        assert seg[2] <= whole[2]
+
+    def test_lookahead_counts_hits_and_never_slower(self):
+        base = _run_trace("ps", 4, seed=13, segment=True, lookahead=False)
+        spec = _run_trace("ps", 4, seed=13, segment=True, lookahead=True)
+        assert spec[0] == base[0]
+        assert spec[1] == base[1]
+        assert spec[3]["sched_lookahead_hits"] > 0
+        assert spec[2] <= base[2]
+
+
+class TestPeekPath:
+    """_peek_path must stay narrow: expected misses return None, real
+    faults in the position machinery propagate."""
+
+    def _scheduler(self):
+        config = small_config(height=6, seed=1)
+        controller = build_variant("ps", config)
+        return config, controller, WindowScheduler(controller, 4)
+
+    def test_real_position_fault_propagates(self):
+        config, controller, sched = self._scheduler()
+
+        def boom(address):
+            raise RuntimeError("posmap wiring broke")
+
+        controller._position_of = boom
+        with pytest.raises(RuntimeError, match="posmap wiring broke"):
+            sched.read(1)
+
+    def test_out_of_range_address_raises_the_proper_error(self):
+        from repro.errors import InvalidAddressError
+
+        config, controller, sched = self._scheduler()
+        bad = controller.oram_config.num_logical_blocks + 5
+        with pytest.raises(InvalidAddressError):
+            sched.read(bad)
+
+    def test_plain_hierarchy_at_depth_has_no_peek(self):
+        config = small_config(height=6, seed=1)
+        controller = build_variant("plain", config)
+        sched = WindowScheduler(controller, 4)
+        payload = b"\x07" * 8
+        sched.write(3, payload)
+        assert sched.read(3).data[: len(payload)] == payload
 
 
 class TestReserveInterval:

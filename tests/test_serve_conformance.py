@@ -43,6 +43,17 @@ class TestCrashConsistentCell:
         with pytest.raises(ValueError):
             _small_cell(variant="ps", point="shard9:no-such-label")
 
+    @pytest.mark.parametrize("variant", ["ps", "rcr-ps"])
+    def test_windowed_cell_is_consistent(self, variant):
+        """Shards behind a depth-4 shared WindowScheduler: batch loads/
+        commits stream into the window, the worker drains at batch
+        boundaries, and every crash cell still conforms."""
+        result = _small_cell(variant=variant, seed=6, window=4)
+        assert result.window == 4
+        assert result.consistent, result.violations
+        assert result.supports is True
+        assert result.recoveries == result.rounds
+
 
 class TestVolatileCell:
     def test_baseline_honestly_fails_recovery(self):
